@@ -1,0 +1,298 @@
+package hdpower
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"hdpower/internal/experiments"
+	"hdpower/internal/stimuli"
+)
+
+// benchSuite is shared across benchmarks so each module instance is
+// characterized once; the per-iteration cost is the experiment's own
+// evaluation work, which is what the paper's tables measure.
+var (
+	benchOnce  sync.Once
+	benchShare *experiments.Suite
+)
+
+func benchSuite() *experiments.Suite {
+	benchOnce.Do(func() {
+		cfg := experiments.Quick()
+		cfg.EvalPatterns = 1500
+		cfg.CharPatterns = 3000
+		benchShare = experiments.New(cfg)
+	})
+	return benchShare
+}
+
+// BenchmarkFigure1 regenerates Figure 1: basic coefficients p_i with
+// error bars for the 16-input-bit variants of the five paper modules.
+func BenchmarkFigure1(b *testing.B) {
+	s := benchSuite()
+	var total float64
+	for i := 0; i < b.N; i++ {
+		res, err := s.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = res.Modules[0].TotalEps
+	}
+	b.ReportMetric(total*100, "total-eps-%")
+}
+
+// BenchmarkFigure2 regenerates Figure 2: basic vs enhanced coefficients
+// for the 8x8 CSA multiplier.
+func BenchmarkFigure2(b *testing.B) {
+	s := benchSuite()
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		res, err := s.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		spread = res.Spread(3)
+	}
+	b.ReportMetric(spread*100, "hd3-spread-%")
+}
+
+// BenchmarkTable1 regenerates Table 1: basic-model estimation errors for
+// every module and data type.
+func BenchmarkTable1(b *testing.B) {
+	s := benchSuite()
+	var avgI, avgV float64
+	for i := 0; i < b.N; i++ {
+		res, err := s.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		avgI = res.AvgAverage[stimuli.TypeRandom]
+		avgV = res.AvgAverage[stimuli.TypeCounter]
+	}
+	b.ReportMetric(avgI, "avg-eps-I-%")
+	b.ReportMetric(avgV, "avg-eps-V-%")
+}
+
+// BenchmarkTable2 regenerates Table 2: basic vs enhanced model on the CSA
+// multiplier.
+func BenchmarkTable2(b *testing.B) {
+	s := benchSuite()
+	var basicV, enhV float64
+	for i := 0; i < b.N; i++ {
+		res, err := s.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.DataType == stimuli.TypeCounter {
+				basicV, enhV = math.Abs(row.AvgBasic), math.Abs(row.AvgEnhanced)
+			}
+		}
+	}
+	b.ReportMetric(basicV, "basic-eps-V-%")
+	b.ReportMetric(enhV, "enhanced-eps-V-%")
+}
+
+// BenchmarkFigure4 regenerates Figure 4: instance vs regression
+// coefficients over the prototype widths.
+func BenchmarkFigure4(b *testing.B) {
+	s := benchSuite()
+	var series int
+	for i := 0; i < b.N; i++ {
+		res, err := s.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		series = len(res.Series)
+	}
+	b.ReportMetric(float64(series), "series")
+}
+
+// BenchmarkTable3 regenerates Table 3: coefficient and estimation errors
+// for the ALL/SEC/THI regression sets.
+func BenchmarkTable3(b *testing.B) {
+	s := benchSuite()
+	var worstParamErr float64
+	for i := 0; i < b.N; i++ {
+		res, err := s.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstParamErr = 0
+		for _, row := range res.Rows {
+			if row.ParamErrAvg > worstParamErr {
+				worstParamErr = row.ParamErrAvg
+			}
+		}
+	}
+	b.ReportMetric(worstParamErr, "worst-param-err-%")
+}
+
+// BenchmarkFigure6 regenerates Figure 6: distribution-weighted power vs
+// power at the average Hamming-distance.
+func BenchmarkFigure6(b *testing.B) {
+	s := benchSuite()
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		res, err := s.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = math.Abs(res.AvgHdError())
+	}
+	b.ReportMetric(gap, "avgHd-err-%")
+}
+
+// BenchmarkFigure9 regenerates Figure 9: extracted vs analytic
+// Hamming-distance distribution of the speech stream.
+func BenchmarkFigure9(b *testing.B) {
+	s := benchSuite()
+	var tv float64
+	for i := 0; i < b.N; i++ {
+		res, err := s.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		tv = res.TotalVariation
+	}
+	b.ReportMetric(tv, "total-variation")
+}
+
+// BenchmarkEstimatorStudy regenerates the extension table comparing all
+// average-power estimators (cycle Hd, analytic distribution, average Hd,
+// DBT baseline).
+func BenchmarkEstimatorStudy(b *testing.B) {
+	s := benchSuite()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		res, err := s.EstimatorStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(res.Rows)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// BenchmarkEngineAblation regenerates the glitch-power ablation.
+func BenchmarkEngineAblation(b *testing.B) {
+	s := benchSuite()
+	var share float64
+	for i := 0; i < b.N; i++ {
+		res, err := s.EngineAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		share = res.GlitchShare
+	}
+	b.ReportMetric(share*100, "glitch-share-%")
+}
+
+// BenchmarkZClusterAblation regenerates the enhanced-model clustering
+// trade-off study.
+func BenchmarkZClusterAblation(b *testing.B) {
+	s := benchSuite()
+	var coefs int
+	for i := 0; i < b.N; i++ {
+		res, err := s.ZClusterAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		coefs = res.Rows[len(res.Rows)-1].Coefficients
+	}
+	b.ReportMetric(float64(coefs), "smallest-model-coefs")
+}
+
+// BenchmarkAdaptationStudy regenerates the LMS adaptation study (paper
+// ref. [4]).
+func BenchmarkAdaptationStudy(b *testing.B) {
+	s := benchSuite()
+	var after float64
+	for i := 0; i < b.N; i++ {
+		res, err := s.AdaptationStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		after = math.Abs(res.ErrAfter)
+	}
+	b.ReportMetric(after, "adapted-eps-%")
+}
+
+// BenchmarkPortStudy regenerates the port-resolved model comparison.
+func BenchmarkPortStudy(b *testing.B) {
+	s := benchSuite()
+	var frozen float64
+	for i := 0; i < b.N; i++ {
+		res, err := s.PortStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		frozen = math.Abs(res.PortFrozen)
+	}
+	b.ReportMetric(frozen, "port-frozen-eps-%")
+}
+
+// BenchmarkBudgetStudy regenerates the characterization-budget
+// convergence sweep.
+func BenchmarkBudgetStudy(b *testing.B) {
+	s := benchSuite()
+	var drift float64
+	for i := 0; i < b.N; i++ {
+		res, err := s.BudgetStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		drift = res.Rows[0].MaxCoefDrift
+	}
+	b.ReportMetric(drift*100, "smallest-budget-drift-%")
+}
+
+// BenchmarkRectStudy regenerates the eq. (8) rectangular regression
+// study.
+func BenchmarkRectStudy(b *testing.B) {
+	s := benchSuite()
+	var meanErr float64
+	for i := 0; i < b.N; i++ {
+		res, err := s.RectStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		meanErr = res.AvgRelErr
+	}
+	b.ReportMetric(meanErr, "rect-mean-err-%")
+}
+
+// BenchmarkCharacterize measures the cost of characterizing one 8x8 CSA
+// multiplier model from scratch — the per-prototype cost of Section 5's
+// prototype sets.
+func BenchmarkCharacterize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		nl, err := Build("csa-multiplier", 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Characterize(nl, "bench", CharacterizeOptions{Patterns: 1000, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateCycle measures raw event-driven simulation throughput
+// on the largest paper module (16x16 Booth-Wallace).
+func BenchmarkSimulateCycle(b *testing.B) {
+	nl, err := Build("booth-wallace-multiplier", 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	meter, err := NewMeter(nl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := OperandStream(TypeRandom, 16, 2, 1)
+	meter.Reset(stream.Next())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		meter.Cycle(stream.Next())
+	}
+}

@@ -1,0 +1,514 @@
+// Command hdpower is the workflow CLI for the Hd power macro-model
+// library: list modules, inspect netlists, characterize models, and
+// estimate stream power.
+//
+// Subcommands:
+//
+//	hdpower modules
+//	hdpower stats -module csa-multiplier -width 8
+//	hdpower dot -module ripple-adder -width 4 > adder.dot
+//	hdpower characterize -module csa-multiplier -width 8 -patterns 8000 \
+//	        -enhanced -o csa8.json
+//	hdpower estimate -model csa8.json -module csa-multiplier -width 8 \
+//	        -data III -n 5000
+//	hdpower hddist -data III -width 16 -n 20000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"hdpower"
+	"hdpower/internal/bdd"
+	"hdpower/internal/core"
+	"hdpower/internal/dwlib"
+	"hdpower/internal/hddist"
+	"hdpower/internal/modellib"
+	"hdpower/internal/regress"
+	"hdpower/internal/sim"
+	"hdpower/internal/stats"
+	"hdpower/internal/stimuli"
+	"hdpower/internal/textplot"
+	"hdpower/internal/verilog"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "modules":
+		err = cmdModules()
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "dot":
+		err = cmdDot(os.Args[2:])
+	case "characterize":
+		err = cmdCharacterize(os.Args[2:])
+	case "estimate":
+		err = cmdEstimate(os.Args[2:])
+	case "hddist":
+		err = cmdHdDist(os.Args[2:])
+	case "vcd":
+		err = cmdVCD(os.Args[2:])
+	case "verilog":
+		err = cmdVerilog(os.Args[2:])
+	case "equiv":
+		err = cmdEquiv(os.Args[2:])
+	case "library":
+		err = cmdLibrary(os.Args[2:])
+	case "show":
+		err = cmdShow(os.Args[2:])
+	case "fit":
+		err = cmdFit(os.Args[2:])
+	case "synthesize":
+		err = cmdSynthesize(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "hdpower: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hdpower: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: hdpower <subcommand> [flags]
+
+subcommands:
+  modules       list the datapath module catalog
+  stats         print netlist statistics for a module instance
+  dot           emit the netlist as Graphviz DOT
+  characterize  fit an Hd model and write it as JSON
+  estimate      estimate stream power with a stored model
+  hddist        analytic vs extracted Hamming-distance distribution
+  vcd           dump event-driven waveforms (with glitches) as VCD
+  verilog       emit a module as gate-level structural Verilog
+  equiv         formally check two catalog modules for equivalence (BDD)
+  show          pretty-print a stored model's coefficient table
+  library       list the models stored in a library directory
+  fit           characterize prototype widths and fit a width-regression model
+  synthesize    produce a model for any width from a fitted regression`)
+	os.Exit(2)
+}
+
+func cmdModules() error {
+	for _, name := range dwlib.Names() {
+		mod, err := dwlib.Lookup(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-26s %s\n", mod.Name, mod.Description)
+	}
+	return nil
+}
+
+func moduleFlags(fs *flag.FlagSet) (*string, *int) {
+	module := fs.String("module", "", "catalog module name")
+	width := fs.Int("width", 8, "operand width")
+	return module, width
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	module, width := moduleFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	nl, err := hdpower.Build(*module, *width)
+	if err != nil {
+		return err
+	}
+	fmt.Println(nl.Stats())
+	return nil
+}
+
+func cmdDot(args []string) error {
+	fs := flag.NewFlagSet("dot", flag.ExitOnError)
+	module, width := moduleFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	nl, err := hdpower.Build(*module, *width)
+	if err != nil {
+		return err
+	}
+	return nl.WriteDOT(os.Stdout)
+}
+
+func cmdCharacterize(args []string) error {
+	fs := flag.NewFlagSet("characterize", flag.ExitOnError)
+	module, width := moduleFlags(fs)
+	patterns := fs.Int("patterns", 5000, "characterization pairs")
+	enhanced := fs.Bool("enhanced", false, "also fit the enhanced (stable-zero) classes")
+	zclusters := fs.Int("zclusters", 0, "cluster the stable-zero axis into N buckets (0 = full)")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("o", "", "output file (default stdout)")
+	libDir := fs.String("library", "", "also store the model in this library directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	nl, err := hdpower.Build(*module, *width)
+	if err != nil {
+		return err
+	}
+	model, err := hdpower.Characterize(nl, fmt.Sprintf("%s-%d", *module, *width),
+		hdpower.CharacterizeOptions{
+			Patterns: *patterns, Enhanced: *enhanced, ZClusters: *zclusters, Seed: *seed,
+		})
+	if err != nil {
+		return err
+	}
+	if *libDir != "" {
+		lib, err := modellib.Open(*libDir)
+		if err != nil {
+			return err
+		}
+		if err := lib.PutModel(*module, *width, model); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "stored in library %s\n", *libDir)
+	}
+	data, err := json.MarshalIndent(model, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+func cmdEstimate(args []string) error {
+	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
+	module, width := moduleFlags(fs)
+	modelPath := fs.String("model", "", "model JSON file from `characterize`")
+	libDir := fs.String("library", "", "resolve the model from this library (instance or regression)")
+	data := fs.String("data", "I", "data type: I, II, III, IV, V")
+	n := fs.Int("n", 5000, "stream length")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var model *core.Model
+	switch {
+	case *modelPath != "":
+		raw, err := os.ReadFile(*modelPath)
+		if err != nil {
+			return err
+		}
+		if model, err = core.LoadModel(raw); err != nil {
+			return err
+		}
+	case *libDir != "":
+		lib, err := modellib.Open(*libDir)
+		if err != nil {
+			return err
+		}
+		var synthesized bool
+		model, synthesized, err = lib.Model(*module, *width, false)
+		if err != nil {
+			return err
+		}
+		if synthesized {
+			fmt.Fprintf(os.Stderr, "using width-regression synthesis for %s width %d\n",
+				*module, *width)
+		}
+	default:
+		return fmt.Errorf("estimate needs -model or -library")
+	}
+	dt, err := parseDataType(*data)
+	if err != nil {
+		return err
+	}
+	nl, err := hdpower.Build(*module, *width)
+	if err != nil {
+		return err
+	}
+	mod, err := dwlib.Lookup(*module)
+	if err != nil {
+		return err
+	}
+	ports := 1
+	if mod.TwoOperand {
+		ports = 2
+	}
+	words := hdpower.TakeWords(hdpower.OperandStream(dt, *width, ports, *seed), *n+1)
+	report, err := hdpower.Estimate(model, nl, words)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	return nil
+}
+
+func cmdHdDist(args []string) error {
+	fs := flag.NewFlagSet("hddist", flag.ExitOnError)
+	data := fs.String("data", "III", "data type: I, II, III, IV, V")
+	width := fs.Int("width", 16, "word width")
+	n := fs.Int("n", 20000, "stream length")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dt, err := parseDataType(*data)
+	if err != nil {
+		return err
+	}
+	words := stimuli.Take(stimuli.NewStream(dt, *width, *seed), *n)
+	extracted, err := hddist.FromWords(words)
+	if err != nil {
+		return err
+	}
+	ws, err := stats.FromWords(words)
+	if err != nil {
+		return err
+	}
+	analytic := hddist.FromWordStats(ws, *width)
+	xs := make([]float64, *width+1)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	fmt.Print(textplot.Chart(
+		fmt.Sprintf("Hd distribution, data type %s, %d bits", dt, *width),
+		"Hd", xs, []textplot.Series{
+			{Name: "extracted", Y: extracted},
+			{Name: "analytic (eq. 18)", Y: analytic},
+		}, 64, 14))
+	tv, err := extracted.TotalVariation(analytic)
+	if err != nil {
+		return err
+	}
+	bp := stats.ComputeBreakpoints(ws, *width)
+	fmt.Printf("\nword stats: mean %.1f std %.1f rho %.3f | BP0 %d BP1 %d | TV %.3f\n",
+		ws.Mean, ws.Std, ws.Rho, bp.BP0, bp.BP1, tv)
+	return nil
+}
+
+func cmdVCD(args []string) error {
+	fs := flag.NewFlagSet("vcd", flag.ExitOnError)
+	module, width := moduleFlags(fs)
+	data := fs.String("data", "I", "data type: I, II, III, IV, V")
+	n := fs.Int("n", 16, "number of cycles to dump")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dt, err := parseDataType(*data)
+	if err != nil {
+		return err
+	}
+	nl, err := hdpower.Build(*module, *width)
+	if err != nil {
+		return err
+	}
+	mod, err := dwlib.Lookup(*module)
+	if err != nil {
+		return err
+	}
+	ports := 1
+	if mod.TwoOperand {
+		ports = 2
+	}
+	words := hdpower.TakeWords(hdpower.OperandStream(dt, *width, ports, *seed), *n+1)
+	return sim.DumpVCD(os.Stdout, nl, words, 0)
+}
+
+func cmdVerilog(args []string) error {
+	fs := flag.NewFlagSet("verilog", flag.ExitOnError)
+	module, width := moduleFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	nl, err := hdpower.Build(*module, *width)
+	if err != nil {
+		return err
+	}
+	return verilog.Write(os.Stdout, nl)
+}
+
+func cmdEquiv(args []string) error {
+	fs := flag.NewFlagSet("equiv", flag.ExitOnError)
+	a := fs.String("a", "", "first catalog module")
+	b := fs.String("b", "", "second catalog module")
+	width := fs.Int("width", 8, "operand width")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	nlA, err := hdpower.Build(*a, *width)
+	if err != nil {
+		return err
+	}
+	nlB, err := hdpower.Build(*b, *width)
+	if err != nil {
+		return err
+	}
+	eq, cex, err := bdd.Equivalent(nlA, nlB)
+	if err != nil {
+		return err
+	}
+	if eq {
+		fmt.Printf("EQUIVALENT: %s and %s at width %d compute the same functions\n",
+			*a, *b, *width)
+		return nil
+	}
+	fmt.Printf("NOT EQUIVALENT: differ on bus %s bit %d for input %v\n",
+		cex.Bus, cex.Bit, cex.Assignment)
+	return nil
+}
+
+func parseDataType(s string) (stimuli.DataType, error) {
+	for _, dt := range stimuli.AllDataTypes() {
+		if dt.String() == s {
+			return dt, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown data type %q (want I..V)", s)
+}
+
+func cmdFit(args []string) error {
+	fs := flag.NewFlagSet("fit", flag.ExitOnError)
+	module := fs.String("module", "", "catalog module name")
+	set := fs.String("set", "ALL", "prototype set: ALL, SEC, THI")
+	patterns := fs.Int("patterns", 5000, "characterization pairs per prototype")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("o", "", "output file (default stdout)")
+	libDir := fs.String("library", "", "also store the regression in this library directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mod, err := dwlib.Lookup(*module)
+	if err != nil {
+		return err
+	}
+	widths := regress.PrototypeSet(*set).Widths()
+	if widths == nil {
+		return fmt.Errorf("unknown prototype set %q (want ALL, SEC, THI)", *set)
+	}
+	var protos []regress.Prototype
+	for _, w := range widths {
+		nl, err := hdpower.Build(*module, w)
+		if err != nil {
+			return err
+		}
+		model, err := hdpower.Characterize(nl, fmt.Sprintf("%s-%d", *module, w),
+			hdpower.CharacterizeOptions{Patterns: *patterns, Seed: *seed + int64(w)})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "characterized %s width %d (%d input bits)\n",
+			*module, w, model.InputBits)
+		protos = append(protos, regress.Prototype{Width: w, Model: model})
+	}
+	factor := 1
+	if mod.TwoOperand {
+		factor = 2
+	}
+	pm, err := regress.Fit(*module, protos, regress.BasisFor(*module), factor)
+	if err != nil {
+		return err
+	}
+	if *libDir != "" {
+		lib, err := modellib.Open(*libDir)
+		if err != nil {
+			return err
+		}
+		if err := lib.PutParam(pm); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "stored regression in library %s\n", *libDir)
+	}
+	data, err := json.MarshalIndent(pm, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+func cmdSynthesize(args []string) error {
+	fs := flag.NewFlagSet("synthesize", flag.ExitOnError)
+	paramPath := fs.String("param", "", "parameterized model JSON from `fit`")
+	width := fs.Int("width", 8, "operand width to synthesize")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(*paramPath)
+	if err != nil {
+		return err
+	}
+	pm, err := regress.LoadParamModel(raw)
+	if err != nil {
+		return err
+	}
+	model := pm.Synthesize(*width)
+	data, err := json.MarshalIndent(model, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	modelPath := fs.String("model", "", "model JSON file from characterize")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	model, err := core.LoadModel(raw)
+	if err != nil {
+		return err
+	}
+	fmt.Print(model.Report())
+	return nil
+}
+
+func cmdLibrary(args []string) error {
+	fs := flag.NewFlagSet("library", flag.ExitOnError)
+	dir := fs.String("dir", "", "library directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lib, err := modellib.Open(*dir)
+	if err != nil {
+		return err
+	}
+	entries, err := lib.List()
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		fmt.Println("(library is empty)")
+		return nil
+	}
+	for _, e := range entries {
+		kind := "basic"
+		if e.Enhanced {
+			kind = "enhanced"
+		}
+		fmt.Printf("%-26s width %3d  %s\n", e.Module, e.Width, kind)
+	}
+	return nil
+}

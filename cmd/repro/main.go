@@ -1,0 +1,109 @@
+// Command repro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	repro [-exp all|fig1|fig2|table1|table2|fig4|table3|fig6|fig9]
+//	      [-quick] [-char N] [-eval N] [-widths 8,12,16] [-seed N]
+//
+// With -quick the reduced test-scale configuration is used; the default
+// configuration matches the paper's stream lengths (5000-pattern streams,
+// 8000 characterization pairs) and takes a few minutes for `-exp all`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"hdpower/internal/experiments"
+)
+
+func main() {
+	var (
+		exp = flag.String("exp", "all", "experiment: all, fig1, fig2, table1, table2, "+
+			"fig4, table3, fig6, fig9, estimators, engine, zclusters, adapt")
+		quick  = flag.Bool("quick", false, "use the reduced test-scale configuration")
+		charN  = flag.Int("char", 0, "override characterization pattern count")
+		evalN  = flag.Int("eval", 0, "override evaluation stream length")
+		widths = flag.String("widths", "", "override Table 1 operand widths, e.g. 8,12,16")
+		seed   = flag.Int64("seed", 0, "override random seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *charN > 0 {
+		cfg.CharPatterns = *charN
+	}
+	if *evalN > 0 {
+		cfg.EvalPatterns = *evalN
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *widths != "" {
+		var ws []int
+		for _, part := range strings.Split(*widths, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fatalf("bad -widths: %v", err)
+			}
+			ws = append(ws, w)
+		}
+		cfg.Widths = ws
+	}
+
+	suite := experiments.New(cfg)
+	fmt.Printf("# hdpower reproduction — char %d pairs, eval %d patterns, widths %v, seed %d\n\n",
+		cfg.CharPatterns, cfg.EvalPatterns, cfg.Widths, cfg.Seed)
+
+	type runner struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}
+	runners := []runner{
+		{"fig1", func() (fmt.Stringer, error) { return suite.Figure1() }},
+		{"fig2", func() (fmt.Stringer, error) { return suite.Figure2() }},
+		{"table1", func() (fmt.Stringer, error) { return suite.Table1() }},
+		{"table2", func() (fmt.Stringer, error) { return suite.Table2() }},
+		{"fig4", func() (fmt.Stringer, error) { return suite.Figure4() }},
+		{"table3", func() (fmt.Stringer, error) { return suite.Table3() }},
+		{"fig6", func() (fmt.Stringer, error) { return suite.Figure6() }},
+		{"fig9", func() (fmt.Stringer, error) { return suite.Figure9() }},
+		// Extensions beyond the paper (see DESIGN.md §6).
+		{"estimators", func() (fmt.Stringer, error) { return suite.EstimatorStudy() }},
+		{"engine", func() (fmt.Stringer, error) { return suite.EngineAblation() }},
+		{"zclusters", func() (fmt.Stringer, error) { return suite.ZClusterAblation() }},
+		{"adapt", func() (fmt.Stringer, error) { return suite.AdaptationStudy() }},
+		{"ports", func() (fmt.Stringer, error) { return suite.PortStudy() }},
+		{"budget", func() (fmt.Stringer, error) { return suite.BudgetStudy() }},
+		{"rect", func() (fmt.Stringer, error) { return suite.RectStudy() }},
+	}
+
+	matched := false
+	for _, r := range runners {
+		if *exp != "all" && *exp != r.name {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		res, err := r.run()
+		if err != nil {
+			fatalf("%s: %v", r.name, err)
+		}
+		fmt.Printf("===== %s (%.1fs) =====\n%s\n", r.name, time.Since(start).Seconds(), res)
+	}
+	if !matched {
+		fatalf("unknown experiment %q", *exp)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "repro: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,37 @@
+// Package hdpower is a from-scratch reproduction of "A New
+// Parameterizable Power Macro-Model for Datapath Components"
+// (Jochens, Kruse, Schmidt, Nebel — OFFIS; DATE 1999).
+//
+// The library models the power consumption of combinational datapath
+// components (adders, multipliers, absolute-value units, …) as a function
+// of the Hamming-distance of consecutive input vectors. It contains every
+// substrate the paper depends on, built on the Go standard library alone:
+//
+//   - a gate-level netlist representation and cell library,
+//   - zero-delay and event-driven (glitch-aware) logic simulators with a
+//     switched-capacitance charge model — the stand-in for the paper's
+//     PowerMill reference,
+//   - generators for the paper's datapath components (ripple/CLA adders,
+//     absval, CSA array multiplier, Booth-Wallace multiplier, and more) —
+//     the stand-in for the Synopsys DesignWare library,
+//   - seeded synthetic data streams for the paper's five stimulus classes
+//     (random, music, speech, video, counter),
+//   - the basic and enhanced Hd macro-models with characterization,
+//   - bit-width parameterization by complexity-function regression,
+//   - word-level statistics, dual-bit-type breakpoints, and the analytic
+//     Hamming-distance distribution of Section 6,
+//   - experiment drivers that regenerate every table and figure of the
+//     paper's evaluation (see internal/experiments and cmd/repro).
+//
+// # Quick start
+//
+//	nl, _ := hdpower.Build("ripple-adder", 8)     // 8-bit operands
+//	model, _ := hdpower.Characterize(nl, "add8", hdpower.CharacterizeOptions{})
+//	stream := hdpower.OperandStream(hdpower.TypeSpeech, 8, 2 /* ports */, 1 /* seed */)
+//	report, _ := hdpower.Estimate(model, nl, hdpower.TakeWords(stream, 5001))
+//	fmt.Println(report)
+//
+// The deeper APIs live in the internal packages and are re-exported here
+// through type aliases, so everything reachable from this package is
+// usable directly.
+package hdpower

@@ -1,0 +1,136 @@
+// Low-power module binding: the high-level-synthesis use case from the
+// paper's introduction (refs. [5–8] minimize switching activity when
+// assigning operations to functional units).
+//
+// Two multiplications execute each control step: an audio product
+// a[n]·c1 and a video product v[n]·c2. A binder can either
+//
+//   - SHARED: time-multiplex both operations onto one multiplier — the
+//     unit's inputs jump between the two uncorrelated streams every
+//     cycle, maximizing Hamming-distance, or
+//   - DEDICATED: bind each operation to its own multiplier — each unit
+//     sees one coherent, correlated stream with small Hamming-distances.
+//
+// The example scores both bindings with the Hd macro-model alone (no
+// gate-level simulation in the loop) and then verifies the ranking with
+// the reference simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hdpower"
+)
+
+const (
+	width  = 8
+	ops    = 3000 // operations per stream
+	cMusic = 57   // constant coefficient for the audio stream
+	cVideo = 113  // constant coefficient for the video stream
+)
+
+func main() {
+	model := characterize()
+
+	audio := operands(hdpower.TypeMusic, cMusic, 11)
+	video := operands(hdpower.TypeVideo, cVideo, 22)
+
+	// SHARED: one multiplier executes audio and video ops alternately.
+	shared := make([]hdpower.Word, 0, 2*ops)
+	for n := 0; n < ops; n++ {
+		shared = append(shared, audio[n], video[n])
+	}
+
+	fmt.Println("binding study: 2 multiplications/step on 8x8 csa multipliers")
+	fmt.Println()
+
+	estShared, simShared := score(model, shared)
+	estAudio, simAudio := score(model, audio)
+	estVideo, simVideo := score(model, video)
+	// SHARED runs one unit at double rate: energy per control step is
+	// 2 cycles × avg charge. DEDICATED runs two units at single rate.
+	estDedicated := estAudio + estVideo
+	simDedicated := simAudio + simVideo
+	estSharedStep := 2 * estShared
+	simSharedStep := 2 * simShared
+
+	fmt.Printf("%-34s %14s %14s\n", "binding", "model estimate", "simulated")
+	fmt.Printf("%-34s %14.1f %14.1f\n", "SHARED (1 unit, interleaved)", estSharedStep, simSharedStep)
+	fmt.Printf("%-34s %14.1f %14.1f\n", "DEDICATED (2 units, coherent)", estDedicated, simDedicated)
+	fmt.Println("\n(charge per control step, arbitrary units)")
+
+	modelPick := pick(estSharedStep, estDedicated)
+	simPick := pick(simSharedStep, simDedicated)
+	fmt.Printf("\nmodel picks %s, simulation confirms %s", modelPick, simPick)
+	if modelPick == simPick {
+		fmt.Printf(" — Hd model ranked the bindings correctly (%.0f%% energy saved)\n",
+			(1-min(simSharedStep, simDedicated)/max(simSharedStep, simDedicated))*100)
+	} else {
+		fmt.Println(" — rankings DISAGREE")
+	}
+}
+
+// operands builds the packed input stream x[n]·c for one operation.
+func operands(dt hdpower.DataType, c int64, seed int64) []hdpower.Word {
+	xs := hdpower.TakeWords(hdpower.OperandStream(dt, width, 1, seed), ops)
+	out := make([]hdpower.Word, ops)
+	cw := hdpower.WordFromUint(uint64(c), width)
+	for n, x := range xs {
+		// magnitudes: the csa multiplier is unsigned
+		v := x.Int()
+		if v < 0 {
+			v = -v
+		}
+		out[n] = hdpower.WordFromUint(uint64(v), width).Concat(cw)
+	}
+	return out
+}
+
+// score returns the model-estimated and simulated average charge per
+// cycle of a multiplier executing the stream.
+func score(model *hdpower.Model, words []hdpower.Word) (est, sim float64) {
+	nl, err := hdpower.Build("csa-multiplier", width)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := hdpower.Estimate(model, nl, words)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return report.EstimatedAvg, report.SimulatedAvg
+}
+
+func characterize() *hdpower.Model {
+	nl, err := hdpower.Build("csa-multiplier", width)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := hdpower.Characterize(nl, "csa-multiplier-8x8",
+		hdpower.CharacterizeOptions{Patterns: 5000, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return model
+}
+
+func pick(shared, dedicated float64) string {
+	if shared < dedicated {
+		return "SHARED"
+	}
+	return "DEDICATED"
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

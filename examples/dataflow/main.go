@@ -1,0 +1,128 @@
+// Simulation-free power estimation: the full Section 6 recipe.
+//
+// A small linear dataflow (one stage of an FIR) feeds a 16-bit adder:
+//
+//	u[n] = x[n] + 2·x[n−1]      (upstream arithmetic)
+//	v[n] = x[n−2]               (delay line tap)
+//	y[n] = u[n] + v[n]          (the adder whose power we want)
+//
+// Instead of simulating bit vectors, the example propagates the word-level
+// statistics of x analytically through the dataflow (internal/propagate),
+// derives each adder port's Hamming-distance distribution from the
+// propagated statistics (eq. 18), convolves the two ports, and evaluates
+// the characterized Hd model under that distribution:
+//
+//	stats(x) ──propagate──▶ stats(u), stats(v) ──eq.18──▶ p(Hd)
+//	                                            ──Σ p(Hd=i)·p_i──▶ power
+//
+// A word-level + gate-level simulation of the same adder provides the
+// reference. The ports share the source x, so the uncorrelated-ports
+// convolution is an approximation — the printout quantifies it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hdpower"
+	"hdpower/internal/hddist"
+	"hdpower/internal/propagate"
+	"hdpower/internal/stats"
+	"hdpower/internal/stimuli"
+)
+
+const (
+	width   = 16
+	samples = 8000
+	xStd    = 1800.0
+	xRho    = 0.92
+)
+
+func main() {
+	// --- Analytic route (no simulation of any kind) ------------------
+	g := propagate.New()
+	x := g.Input("x", stats.WordStats{Mean: 0, Std: xStd, Rho: xRho})
+	u := g.Add(x, g.Gain(g.Delay(x, 1), 2))
+	v := g.Delay(x, 2)
+	wsU, wsV := g.Stats(u), g.Stats(v)
+	fmt.Printf("propagated stats: u(std %.0f, rho %.3f)  v(std %.0f, rho %.3f)\n",
+		wsU.Std, wsU.Rho, wsV.Std, wsV.Rho)
+
+	distU := hddist.FromWordStats(wsU, width)
+	distV := hddist.FromWordStats(wsV, width)
+	dist := hddist.Convolve(distU, distV)
+
+	model := characterizeAdder()
+	analytic, err := model.AvgFromDist(dist)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Reference route (word-level + gate-level simulation) --------
+	xs := stimuli.TakeInts(stimuli.AR1(width, 0, xStd, xRho, 2024), samples+2)
+	words := make([]hdpower.Word, 0, samples)
+	for n := 2; n < len(xs); n++ {
+		un := clamp16(xs[n] + 2*xs[n-1])
+		vn := clamp16(xs[n-2])
+		words = append(words,
+			hdpower.WordFromInt(un, width).Concat(hdpower.WordFromInt(vn, width)))
+	}
+	nl, err := hdpower.Build("ripple-adder", width)
+	if err != nil {
+		log.Fatal(err)
+	}
+	meter, err := hdpower.NewMeter(nl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := meter.Run(words)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Also evaluate the model under the *measured* joint Hd distribution
+	// to separate the two error sources: model error vs the analytic
+	// route's approximations.
+	empDist, err := hddist.FromWords(words)
+	if err != nil {
+		log.Fatal(err)
+	}
+	semi, err := model.AvgFromDist(empDist)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Printf("%-46s %10.1f\n", "gate-level simulated average charge:", tr.Mean())
+	fmt.Printf("%-46s %10.1f  (%+.1f%%)\n", "Hd model with measured joint Hd distribution:",
+		semi, pct(semi, tr.Mean()))
+	fmt.Printf("%-46s %10.1f  (%+.1f%%)\n", "fully analytic (propagate + eq.18 + convolve):",
+		analytic, pct(analytic, tr.Mean()))
+	fmt.Println("\nno bit-level simulation was needed for the last estimate; the residual")
+	fmt.Println("gap includes the uncorrelated-ports approximation (u and v share x).")
+}
+
+func characterizeAdder() *hdpower.Model {
+	nl, err := hdpower.Build("ripple-adder", width)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := hdpower.Characterize(nl, "ripple-adder-16",
+		hdpower.CharacterizeOptions{Patterns: 6000, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return model
+}
+
+func clamp16(v int64) int64 {
+	if v > 32767 {
+		return 32767
+	}
+	if v < -32768 {
+		return -32768
+	}
+	return v
+}
+
+func pct(est, ref float64) float64 { return (est - ref) / ref * 100 }

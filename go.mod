@@ -1,0 +1,3 @@
+module hdpower
+
+go 1.22

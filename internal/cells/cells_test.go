@@ -1,0 +1,146 @@
+package cells
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLookupAllKinds(t *testing.T) {
+	for _, k := range Kinds() {
+		c := Lookup(k)
+		if c.Kind != k {
+			t.Errorf("%s: table kind mismatch %v", k, c.Kind)
+		}
+		if c.NumInputs < 1 || c.NumInputs > 3 {
+			t.Errorf("%s: unreasonable pin count %d", k, c.NumInputs)
+		}
+		if c.InputCap <= 0 || c.OutputCap <= 0 {
+			t.Errorf("%s: non-positive capacitance %+v", k, c)
+		}
+		if c.Delay < 1 {
+			t.Errorf("%s: delay %d < 1", k, c.Delay)
+		}
+	}
+}
+
+func TestLookupInvalidPanics(t *testing.T) {
+	for _, k := range []Kind{-1, numKinds, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Lookup(%d) did not panic", int(k))
+				}
+			}()
+			Lookup(k)
+		}()
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Nand2.String() != "NAND2" {
+		t.Errorf("Nand2.String() = %q", Nand2)
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Errorf("invalid kind string = %q", Kind(99))
+	}
+}
+
+// exhaustive truth tables for every kind.
+func TestEvalTruthTables(t *testing.T) {
+	type tt struct {
+		kind Kind
+		want []bool // indexed by input bits as binary number, in[0] is bit 0
+	}
+	cases := []tt{
+		{Buf, []bool{false, true}},
+		{Inv, []bool{true, false}},
+		{And2, []bool{false, false, false, true}},
+		{Or2, []bool{false, true, true, true}},
+		{Nand2, []bool{true, true, true, false}},
+		{Nor2, []bool{true, false, false, false}},
+		{Xor2, []bool{false, true, true, false}},
+		{Xnor2, []bool{true, false, false, true}},
+		{And3, []bool{false, false, false, false, false, false, false, true}},
+		{Or3, []bool{false, true, true, true, true, true, true, true}},
+		{Nand3, []bool{true, true, true, true, true, true, true, false}},
+		{Nor3, []bool{true, false, false, false, false, false, false, false}},
+		{Xor3, []bool{false, true, true, false, true, false, false, true}},
+		// Mux2: in = d0, d1, sel
+		{Mux2, []bool{false, true, false, true, false, false, true, true}},
+		// Aoi21: !((a&b)|c)
+		{Aoi21, []bool{true, true, true, false, false, false, false, false}},
+		// Oai21: !((a|b)&c)
+		{Oai21, []bool{true, true, true, true, true, false, false, false}},
+	}
+	for _, c := range cases {
+		n := Lookup(c.kind).NumInputs
+		if len(c.want) != 1<<uint(n) {
+			t.Fatalf("%s: truth table has %d rows, want %d", c.kind, len(c.want), 1<<uint(n))
+		}
+		for row := 0; row < len(c.want); row++ {
+			in := make([]bool, n)
+			for b := 0; b < n; b++ {
+				in[b] = row>>uint(b)&1 == 1
+			}
+			if got := Eval(c.kind, in); got != c.want[row] {
+				t.Errorf("%s(%v) = %v, want %v", c.kind, in, got, c.want[row])
+			}
+		}
+	}
+}
+
+func TestEvalArityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Eval with wrong arity did not panic")
+		}
+	}()
+	Eval(And2, []bool{true})
+}
+
+// Property: De Morgan — NAND2(a,b) == OR2(!a,!b), NOR2(a,b) == AND2(!a,!b).
+func TestDeMorgan(t *testing.T) {
+	f := func(a, b bool) bool {
+		nand := Eval(Nand2, []bool{a, b}) == Eval(Or2, []bool{!a, !b})
+		nor := Eval(Nor2, []bool{a, b}) == Eval(And2, []bool{!a, !b})
+		return nand && nor
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: XOR3 is associative in the sense of chained XOR2.
+func TestXor3Decomposition(t *testing.T) {
+	f := func(a, b, c bool) bool {
+		chained := Eval(Xor2, []bool{Eval(Xor2, []bool{a, b}), c})
+		return Eval(Xor3, []bool{a, b, c}) == chained
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AOI21 is the complement of (a&b)|c; OAI21 of (a|b)&c.
+func TestComplexGateComplements(t *testing.T) {
+	f := func(a, b, c bool) bool {
+		aoi := Eval(Aoi21, []bool{a, b, c}) == !(a && b || c)
+		oai := Eval(Oai21, []bool{a, b, c}) == !((a || b) && c)
+		return aoi && oai
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXorCostsMoreThanNand(t *testing.T) {
+	// The charge model depends on XOR being the expensive gate; pin this
+	// library property down so a cell-table edit can't silently flatten
+	// the power profiles.
+	if Lookup(Xor2).InputCap <= Lookup(Nand2).InputCap {
+		t.Error("XOR2 input cap should exceed NAND2")
+	}
+	if Lookup(Xor2).OutputCap <= Lookup(Nand2).OutputCap {
+		t.Error("XOR2 output cap should exceed NAND2")
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hdpower/internal/logic"
+	"hdpower/internal/power"
+)
+
+// CharacterizeOptions configures a characterization run.
+type CharacterizeOptions struct {
+	// Patterns is the number of transition pairs to simulate.
+	// Defaults to 5000 (the lower end of the paper's 5000–10000 range).
+	Patterns int
+	// Enhanced additionally characterizes the stable-zero refined classes
+	// of the enhanced model.
+	Enhanced bool
+	// ZClusters clusters the stable-zero axis of the enhanced model into
+	// this many buckets per Hd class; 0 keeps full resolution.
+	ZClusters int
+	// Seed makes the characterization stream deterministic.
+	Seed int64
+	// ConvergeTol, if positive, ends the run early once the largest
+	// relative change of any populated basic coefficient between
+	// consecutive check intervals drops below this tolerance — the
+	// paper's "characterization can be finished after the coefficient
+	// values have converged".
+	ConvergeTol float64
+	// CheckEvery is the convergence check interval in patterns
+	// (default 500).
+	CheckEvery int
+}
+
+func (o *CharacterizeOptions) setDefaults() {
+	if o.Patterns <= 0 {
+		o.Patterns = 5000
+	}
+	if o.CheckEvery <= 0 {
+		o.CheckEvery = 500
+	}
+}
+
+// PairSource generates characterization vector pairs (u, v) stratified
+// over the Hamming-distance axis: the flip count i is drawn uniformly from
+// [1, m], so every class E_i receives samples even for wide inputs, where
+// a plain uniform stream essentially never produces Hd 1 or Hd m.
+//
+// In the default (unbiased) mode the base vector is uniform random, which
+// makes the per-class conditional distribution identical to that of a
+// uniform pattern pair conditioned on its Hamming-distance — so the
+// resulting p_i are unbiased for random evaluation streams. The biased
+// mode additionally stratifies the ones-density of the base vector to
+// populate the extreme stable-zero classes of the enhanced model; it is
+// only used for the enhanced coefficient table.
+type PairSource struct {
+	m       int
+	rng     *rand.Rand
+	idx     []int // scratch permutation
+	density bool  // stratify base-vector ones-density
+}
+
+// NewPairSource returns an unbiased stratified characterization pair
+// source for m-bit input vectors.
+func NewPairSource(m int, seed int64) *PairSource {
+	return newPairSource(m, seed, false)
+}
+
+// NewBiasedPairSource returns a pair source that additionally stratifies
+// the base vector's ones-density over [0.05, 0.95], covering the
+// stable-zero axis of the enhanced model.
+func NewBiasedPairSource(m int, seed int64) *PairSource {
+	return newPairSource(m, seed, true)
+}
+
+func newPairSource(m int, seed int64, density bool) *PairSource {
+	if m <= 0 {
+		panic(fmt.Sprintf("core: non-positive input width %d", m))
+	}
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	return &PairSource{m: m, rng: rand.New(rand.NewSource(seed)), idx: idx, density: density}
+}
+
+// Next returns the next characterization pair.
+func (ps *PairSource) Next() (u, v logic.Word) {
+	density := 0.5
+	if ps.density {
+		density = 0.05 + 0.9*ps.rng.Float64()
+	}
+	u = logic.NewWord(ps.m)
+	for b := 0; b < ps.m; b++ {
+		if ps.rng.Float64() < density {
+			u.Set(b, true)
+		}
+	}
+	i := 1 + ps.rng.Intn(ps.m)
+	// Partial Fisher-Yates for i distinct flip positions.
+	for k := 0; k < i; k++ {
+		j := k + ps.rng.Intn(ps.m-k)
+		ps.idx[k], ps.idx[j] = ps.idx[j], ps.idx[k]
+	}
+	v = u.Clone()
+	for k := 0; k < i; k++ {
+		v.Set(ps.idx[k], !v.Bit(ps.idx[k]))
+	}
+	return u, v
+}
+
+// classAcc accumulates the charge samples of one switching-event class.
+type classAcc struct {
+	samples []float64
+	sum     float64
+}
+
+func (a *classAcc) add(q float64) {
+	a.samples = append(a.samples, q)
+	a.sum += q
+}
+
+func (a *classAcc) coef() Coef {
+	n := len(a.samples)
+	if n == 0 {
+		return Coef{}
+	}
+	p := a.sum / float64(n)
+	var dev float64
+	if p > 0 {
+		for _, q := range a.samples {
+			dev += math.Abs((q - p) / p)
+		}
+		dev /= float64(n)
+	}
+	return Coef{P: p, Epsilon: dev, Count: n}
+}
+
+// Characterize runs the characterization process of Section 4.1 against
+// the reference charge meter and returns the fitted model. The meter's
+// module must have at least one input bit.
+func Characterize(meter *power.Meter, moduleName string, opt CharacterizeOptions) (*Model, error) {
+	opt.setDefaults()
+	m := meter.NumInputBits()
+	if m <= 0 {
+		return nil, fmt.Errorf("core: module %s has no inputs", moduleName)
+	}
+
+	model := &Model{
+		Module:    moduleName,
+		InputBits: m,
+		Basic:     make([]Coef, m),
+		ZClusters: opt.ZClusters,
+	}
+	basic := make([]classAcc, m)
+	var enhanced [][]classAcc
+	if opt.Enhanced {
+		enhanced = make([][]classAcc, m)
+		for i := 1; i <= m; i++ {
+			enhanced[i-1] = make([]classAcc, model.NumZBuckets(i))
+		}
+	}
+
+	ps := NewPairSource(m, opt.Seed)
+	prev := make([]float64, m) // last checkpoint's coefficients
+	patternsUsed := 0
+	for j := 0; j < opt.Patterns; j++ {
+		u, v := ps.Next()
+		meter.Reset(u)
+		q := meter.Cycle(v)
+		i := logic.Hd(u, v)
+		basic[i-1].add(q)
+		patternsUsed++
+		if opt.Enhanced {
+			z := logic.StableZeros(u, v)
+			enhanced[i-1][model.ZBucket(i, z)].add(q)
+		}
+
+		if opt.ConvergeTol > 0 && (j+1)%opt.CheckEvery == 0 {
+			worst := 0.0
+			for k := range basic {
+				if len(basic[k].samples) == 0 {
+					continue
+				}
+				cur := basic[k].sum / float64(len(basic[k].samples))
+				if prev[k] > 0 {
+					change := math.Abs(cur-prev[k]) / prev[k]
+					if change > worst {
+						worst = change
+					}
+				} else if cur > 0 {
+					worst = math.Inf(1)
+				}
+				prev[k] = cur
+			}
+			if worst < opt.ConvergeTol && j+1 >= 2*opt.CheckEvery {
+				break
+			}
+		}
+	}
+
+	// Second phase for the enhanced table: density-stratified pairs
+	// populate the extreme stable-zero classes that uniform vectors
+	// almost never produce (all-stable-bits-zero / -one, paper Fig. 2).
+	// These samples feed only the enhanced accumulators, keeping the
+	// basic coefficients unbiased for uniform streams.
+	if opt.Enhanced {
+		biased := NewBiasedPairSource(m, opt.Seed+1)
+		for j := 0; j < patternsUsed; j++ {
+			u, v := biased.Next()
+			meter.Reset(u)
+			q := meter.Cycle(v)
+			i := logic.Hd(u, v)
+			z := logic.StableZeros(u, v)
+			enhanced[i-1][model.ZBucket(i, z)].add(q)
+		}
+	}
+
+	for k := range basic {
+		model.Basic[k] = basic[k].coef()
+	}
+	if opt.Enhanced {
+		model.Enhanced = make([][]Coef, m)
+		for i := 1; i <= m; i++ {
+			row := make([]Coef, len(enhanced[i-1]))
+			for zb := range row {
+				row[zb] = enhanced[i-1][zb].coef()
+			}
+			model.Enhanced[i-1] = row
+		}
+	}
+	return model, model.Validate()
+}

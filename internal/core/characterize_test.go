@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hdpower/internal/dwlib"
+	"hdpower/internal/logic"
+	"hdpower/internal/power"
+	"hdpower/internal/sim"
+	"hdpower/internal/stimuli"
+)
+
+func meterFor(t *testing.T, name string, width int) *power.Meter {
+	t.Helper()
+	mod, err := dwlib.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := power.NewMeter(mod.Build(width), sim.EventDriven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPairSourceCoversAllClasses(t *testing.T) {
+	const m = 16
+	ps := NewPairSource(m, 1)
+	seen := make(map[int]int)
+	for k := 0; k < 4000; k++ {
+		u, v := ps.Next()
+		if u.Width() != m || v.Width() != m {
+			t.Fatal("pair width wrong")
+		}
+		seen[logic.Hd(u, v)]++
+	}
+	for i := 1; i <= m; i++ {
+		if seen[i] < 50 {
+			t.Errorf("Hd class %d saw only %d samples", i, seen[i])
+		}
+	}
+	if seen[0] != 0 {
+		t.Error("pair source produced identical vectors")
+	}
+}
+
+func TestPairSourceCoversStableZeroRange(t *testing.T) {
+	const m = 12
+	ps := NewPairSource(m, 2)
+	lowZ, highZ := 0, 0
+	for k := 0; k < 3000; k++ {
+		u, v := ps.Next()
+		if logic.Hd(u, v) != 1 {
+			continue
+		}
+		z := logic.StableZeros(u, v)
+		if z <= 2 {
+			lowZ++
+		}
+		if z >= m-3 {
+			highZ++
+		}
+	}
+	if lowZ == 0 || highZ == 0 {
+		t.Errorf("stable-zero coverage: low %d, high %d", lowZ, highZ)
+	}
+}
+
+func TestCharacterizeRippleAdder(t *testing.T) {
+	meter := meterFor(t, "ripple-adder", 4) // m = 8
+	model, err := Characterize(meter, "ripple-adder-4", CharacterizeOptions{
+		Patterns: 3000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.InputBits != 8 {
+		t.Fatalf("input bits = %d", model.InputBits)
+	}
+	// Every class should be populated at this width.
+	for i := 1; i <= 8; i++ {
+		if model.Basic[i-1].Count == 0 {
+			t.Errorf("class %d unpopulated", i)
+		}
+	}
+	// Figure 1 shape: coefficients grow with Hamming-distance. Allow
+	// small non-monotonicity from sampling noise at adjacent classes but
+	// demand the global trend.
+	if !(model.P(8) > model.P(4) && model.P(4) > model.P(1)) {
+		t.Errorf("coefficients not increasing: p1=%v p4=%v p8=%v",
+			model.P(1), model.P(4), model.P(8))
+	}
+	if model.P(1) <= 0 {
+		t.Errorf("p1 = %v", model.P(1))
+	}
+}
+
+func TestCharacterizeDeterministicInSeed(t *testing.T) {
+	a, err := Characterize(meterFor(t, "absval", 6), "absval-6",
+		CharacterizeOptions{Patterns: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Characterize(meterFor(t, "absval", 6), "absval-6",
+		CharacterizeOptions{Patterns: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Basic {
+		if a.Basic[i] != b.Basic[i] {
+			t.Fatalf("class %d differs across identical runs", i+1)
+		}
+	}
+}
+
+func TestCharacterizeEnhancedResolvesZeroBias(t *testing.T) {
+	// Figure 2 shape: for the same Hd, transitions where the stable bits
+	// are all zero must cost measurably less than transitions where the
+	// stable bits are all ones (more of the multiplier array is active).
+	meter := meterFor(t, "csa-multiplier", 4) // m = 8
+	model, err := Characterize(meter, "csa-multiplier-4x4", CharacterizeOptions{
+		Patterns: 8000, Enhanced: true, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 2 // low-Hd class shows the effect most clearly (paper Fig. 2)
+	allZero := model.Enhanced[i-1][model.ZBucket(i, 8-i)]
+	noneZero := model.Enhanced[i-1][model.ZBucket(i, 0)]
+	if allZero.Count == 0 || noneZero.Count == 0 {
+		t.Skip("extreme classes not populated at this pattern budget")
+	}
+	if allZero.P >= noneZero.P {
+		t.Errorf("all-stable-zero coefficient %v not below none-zero %v",
+			allZero.P, noneZero.P)
+	}
+}
+
+func TestCharacterizeConvergenceStopsEarly(t *testing.T) {
+	meter := meterFor(t, "parity-tree", 8)
+	model, err := Characterize(meter, "parity-8", CharacterizeOptions{
+		Patterns: 100000, ConvergeTol: 0.02, CheckEvery: 250, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range model.Basic {
+		total += c.Count
+	}
+	if total >= 100000 {
+		t.Errorf("convergence did not stop early (used %d patterns)", total)
+	}
+	if total < 500 {
+		t.Errorf("stopped implausibly early (%d patterns)", total)
+	}
+}
+
+func TestCharacterizedModelEstimatesRandomStreamWell(t *testing.T) {
+	// End-to-end: the basic model's average-power estimate for a random
+	// stream (same statistics as characterization) must be within a few
+	// percent of the simulated reference — the paper's Table 1, data type
+	// I, average charge column (errors of 1–4%).
+	meter := meterFor(t, "csa-multiplier", 4)
+	model, err := Characterize(meter, "csa-multiplier-4x4",
+		CharacterizeOptions{Patterns: 6000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := meterFor(t, "csa-multiplier", 4)
+	vecs := stimuli.Take(stimuli.Random(8, 77), 2001)
+	tr, err := eval.Run(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := model.EstimateBasic(tr.Hd)
+	eps, err := power.AvgError(est, tr.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eps) > 8 {
+		t.Errorf("average-charge error on random stream = %.1f%%, want within 8%%", eps)
+	}
+}
+
+func TestEnhancedBeatsBasicOnCounterStream(t *testing.T) {
+	// The paper's headline Table 2 result: for the counter stream (sign
+	// bits frozen at zero) the enhanced model's average error improves
+	// substantially over the basic model.
+	meter := meterFor(t, "csa-multiplier", 4)
+	model, err := Characterize(meter, "csa-multiplier-4x4",
+		CharacterizeOptions{Patterns: 10000, Enhanced: true, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := meterFor(t, "csa-multiplier", 4)
+	counter := stimuli.Concat(
+		stimuli.NewStream(stimuli.TypeCounter, 4, 0),
+		stimuli.NewStream(stimuli.TypeCounter, 4, 1),
+	)
+	tr, err := eval.Run(stimuli.Take(counter, 2001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	basicEst := model.EstimateBasic(tr.Hd)
+	enhEst, err := model.EstimateEnhanced(tr.Hd, tr.StableZeros)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basicErr, _ := power.AvgError(basicEst, tr.Q)
+	enhErr, _ := power.AvgError(enhEst, tr.Q)
+	if math.Abs(enhErr) >= math.Abs(basicErr) {
+		t.Errorf("enhanced |%.1f%%| not better than basic |%.1f%%| on counter stream",
+			enhErr, basicErr)
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report renders a human-readable summary of a characterized model: the
+// coefficient table with per-class deviations and sample counts, plus the
+// aggregate statistics the paper reports for Figure 1.
+func (m *Model) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Hd power macro-model %q (%d input bits)\n", m.Module, m.InputBits)
+	basic, enhanced := m.NumCoefficients()
+	fmt.Fprintf(&b, "coefficients: %d basic", basic)
+	if m.HasEnhanced() {
+		fmt.Fprintf(&b, ", %d enhanced (z-clusters: %s)", enhanced, zClusterLabel(m.ZClusters))
+	}
+	fmt.Fprintf(&b, "\ntotal avg deviation eps: %.1f%%\n\n", m.TotalDeviation()*100)
+
+	fmt.Fprintf(&b, "%4s %12s %10s %8s\n", "Hd", "p_i", "eps_i %", "samples")
+	maxP := 0.0
+	for i := 1; i <= m.InputBits; i++ {
+		if p := m.P(i); p > maxP {
+			maxP = p
+		}
+	}
+	for i := 1; i <= m.InputBits; i++ {
+		c := m.Basic[i-1]
+		bar := ""
+		if maxP > 0 {
+			bar = strings.Repeat("=", int(m.P(i)/maxP*24+0.5))
+		}
+		note := ""
+		if c.Count == 0 {
+			note = " (interpolated)"
+		}
+		fmt.Fprintf(&b, "%4d %12.3f %10.1f %8d  %s%s\n",
+			i, m.P(i), c.Epsilon*100, c.Count, bar, note)
+	}
+	return b.String()
+}
+
+func zClusterLabel(z int) string {
+	if z <= 0 {
+		return "full resolution"
+	}
+	return fmt.Sprint(z)
+}

@@ -1,0 +1,107 @@
+// Package dbt implements a simplified dual-bit-type (DBT) power
+// macro-model in the style of Landman & Rabaey — the only prior model the
+// paper credits with bit-width parameterizability (Section 2). It serves
+// as the baseline comparator for the Hd model in this reproduction.
+//
+// The module is summarized by two effective capacitances: charge per
+// uniformly switching data bit (characterized with white-noise patterns)
+// and charge per sign-region bit in an all-bits-flip event (characterized
+// with full-word inversions). Average power for a stream then follows
+// from the dual-bit-type region activities alone — no per-cycle
+// simulation, but also no cycle resolution.
+package dbt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hdpower/internal/logic"
+	"hdpower/internal/power"
+	"hdpower/internal/stats"
+)
+
+// Model is a characterized DBT-style macro-model.
+type Model struct {
+	// Module names the characterized module.
+	Module string
+	// InputBits is the total input width m.
+	InputBits int
+	// CData is the average charge contributed per switching input bit
+	// under uniform white-noise stimulation.
+	CData float64
+	// CSign is the average charge per input bit of a full-word inversion
+	// event, modeling correlated sign-region switching.
+	CSign float64
+}
+
+// Characterize measures the two effective capacitances with the given
+// number of patterns per phase.
+func Characterize(meter *power.Meter, module string, patterns int, seed int64) (*Model, error) {
+	m := meter.NumInputBits()
+	if m <= 0 {
+		return nil, fmt.Errorf("dbt: module %s has no inputs", module)
+	}
+	if patterns <= 0 {
+		patterns = 2000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	randomWord := func() logic.Word {
+		w := logic.NewWord(m)
+		for b := 0; b < m; b++ {
+			if rng.Intn(2) == 1 {
+				w.Set(b, true)
+			}
+		}
+		return w
+	}
+
+	// Phase 1: uniform white noise. Expected input activity is m/2
+	// toggles per cycle.
+	var qSum float64
+	var hdSum int
+	prev := randomWord()
+	meter.Reset(prev)
+	for j := 0; j < patterns; j++ {
+		next := randomWord()
+		qSum += meter.Cycle(next)
+		hdSum += logic.Hd(prev, next)
+		prev = next
+	}
+	if hdSum == 0 {
+		return nil, fmt.Errorf("dbt: degenerate characterization stream")
+	}
+	cData := qSum / float64(hdSum)
+
+	// Phase 2: full-word inversions u -> ~u, the all-sign-bits-switch
+	// event at maximum correlation.
+	var qFull float64
+	for j := 0; j < patterns/4+1; j++ {
+		u := randomWord()
+		v := u.Clone()
+		for b := 0; b < m; b++ {
+			v.Set(b, !v.Bit(b))
+		}
+		meter.Reset(u)
+		qFull += meter.Cycle(v)
+	}
+	cSign := qFull / float64(patterns/4+1) / float64(m)
+
+	return &Model{Module: module, InputBits: m, CData: cData, CSign: cSign}, nil
+}
+
+// EstimateAvg predicts the average per-cycle charge of a module whose
+// input ports carry streams with the given per-port region activities.
+// The ports' bit counts must sum to the module's input width.
+func (mdl *Model) EstimateAvg(ports []stats.RegionActivity) (float64, error) {
+	total := 0
+	var q float64
+	for _, r := range ports {
+		total += r.NRand + r.NCorr + r.NSign
+		q += mdl.CData * (r.TRand*float64(r.NRand) + r.TCorr*float64(r.NCorr))
+		q += mdl.CSign * r.TSign * float64(r.NSign)
+	}
+	if total != mdl.InputBits {
+		return 0, fmt.Errorf("dbt: ports cover %d bits, module has %d", total, mdl.InputBits)
+	}
+	return q, nil
+}

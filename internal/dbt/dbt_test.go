@@ -1,0 +1,73 @@
+package dbt
+
+import (
+	"math"
+	"testing"
+
+	"hdpower/internal/dwlib"
+	"hdpower/internal/power"
+	"hdpower/internal/sim"
+	"hdpower/internal/stats"
+	"hdpower/internal/stimuli"
+)
+
+func adderMeter(t *testing.T, w int) *power.Meter {
+	t.Helper()
+	m, err := power.NewMeter(dwlib.RippleAdder(w), sim.EventDriven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCharacterizeProducesPositiveCaps(t *testing.T) {
+	mdl, err := Characterize(adderMeter(t, 4), "ripple-adder-4", 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mdl.CData <= 0 || mdl.CSign <= 0 {
+		t.Errorf("capacitances not positive: %+v", mdl)
+	}
+	if mdl.InputBits != 8 {
+		t.Errorf("input bits = %d", mdl.InputBits)
+	}
+}
+
+func TestEstimateAvgRandomStream(t *testing.T) {
+	// For a uniform random stream the DBT estimate must land near the
+	// simulated average (it was characterized in exactly this regime).
+	mdl, err := Characterize(adderMeter(t, 4), "ripple-adder-4", 3000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := adderMeter(t, 4)
+	vecs := stimuli.Take(stimuli.Random(8, 5), 2001)
+	tr, err := eval.Run(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two 4-bit ports of pure white noise.
+	port := stats.RegionActivity{NRand: 4, TRand: 0.5, TCorr: 0.5, TSign: 0.5}
+	est, err := mdl.EstimateAvg([]stats.RegionActivity{port, port})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(est-tr.Mean()) / tr.Mean()
+	if rel > 0.10 {
+		t.Errorf("DBT estimate %.2f vs simulated %.2f (%.1f%% off)",
+			est, tr.Mean(), rel*100)
+	}
+}
+
+func TestEstimateAvgPortMismatch(t *testing.T) {
+	mdl := &Model{Module: "x", InputBits: 8, CData: 1, CSign: 1}
+	if _, err := mdl.EstimateAvg([]stats.RegionActivity{{NRand: 4}}); err == nil {
+		t.Fatal("port bit mismatch accepted")
+	}
+}
+
+func TestCharacterizeDefaultsAndValidation(t *testing.T) {
+	if _, err := Characterize(adderMeter(t, 4), "x", 0, 3); err != nil {
+		t.Errorf("default pattern count failed: %v", err)
+	}
+}

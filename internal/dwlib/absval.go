@@ -1,0 +1,32 @@
+package dwlib
+
+import (
+	"fmt"
+
+	"hdpower/internal/netlist"
+)
+
+// AbsVal generates the two's-complement absolute value of an m-bit
+// operand: y = a < 0 ? -a : a, implemented as the classic
+// conditional-invert-and-increment: y = (a XOR sign) + sign.
+// Ports: a[m] -> y[m]. The most negative value wraps to itself, as in
+// hardware.
+func AbsVal(m int) *netlist.Netlist {
+	checkWidth("absval", m, 2)
+	n := netlist.New(fmt.Sprintf("absval_%d", m))
+	a := n.AddInputBus("a", m)
+	sign := a.Nets[m-1]
+
+	inv := make([]netlist.NetID, m)
+	for i, id := range a.Nets {
+		inv[i] = n.Xor(id, sign)
+	}
+	// Add the sign bit at the LSB with a half-adder chain.
+	y := make([]netlist.NetID, m)
+	carry := sign
+	for i := 0; i < m; i++ {
+		y[i], carry = n.HalfAdder(inv[i], carry)
+	}
+	n.MarkOutputBus("y", y)
+	return n
+}

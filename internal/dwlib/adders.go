@@ -1,0 +1,153 @@
+package dwlib
+
+import (
+	"fmt"
+
+	"hdpower/internal/netlist"
+)
+
+// RippleAdder generates an m-bit ripple-carry adder. Ports: a[m], b[m] ->
+// sum[m], cout[1]. Complexity is linear in m, the property eq. (6) of the
+// paper builds its regression on.
+func RippleAdder(m int) *netlist.Netlist {
+	checkWidth("ripple-adder", m, 1)
+	n := netlist.New(fmt.Sprintf("ripple_adder_%d", m))
+	a := n.AddInputBus("a", m)
+	b := n.AddInputBus("b", m)
+	sum, cout := rippleSum(n, a.Nets, b.Nets, n.Const(false))
+	n.MarkOutputBus("sum", sum)
+	n.MarkOutputBus("cout", []netlist.NetID{cout})
+	return n
+}
+
+// CLAAdder generates an m-bit carry-lookahead adder built from 4-bit
+// lookahead blocks whose block carries ripple — the classic DesignWare
+// `csa`-style architecture. Ports: a[m], b[m] -> sum[m], cout[1].
+func CLAAdder(m int) *netlist.Netlist {
+	checkWidth("cla-adder", m, 1)
+	n := netlist.New(fmt.Sprintf("cla_adder_%d", m))
+	a := n.AddInputBus("a", m)
+	b := n.AddInputBus("b", m)
+
+	sum := make([]netlist.NetID, m)
+	carry := n.Const(false)
+	for lo := 0; lo < m; lo += 4 {
+		hi := lo + 4
+		if hi > m {
+			hi = m
+		}
+		blockSum, blockCout := claBlock(n, a.Nets[lo:hi], b.Nets[lo:hi], carry)
+		copy(sum[lo:hi], blockSum)
+		carry = blockCout
+	}
+	n.MarkOutputBus("sum", sum)
+	n.MarkOutputBus("cout", []netlist.NetID{carry})
+	return n
+}
+
+// claBlock builds one lookahead block of up to 4 bits. Per-bit propagate
+// p_i = a^b and generate g_i = a&b feed group signals
+//
+//	G_i = g_{i-1} | p_{i-1}·G_{i-1}   (carry generated within bits 0..i-1)
+//	P_i = p_{i-1}·P_{i-1}             (carry propagated across bits 0..i-1)
+//
+// that are independent of the block carry-in, so each carry is only two
+// gate levels away from cin: c_i = G_i | P_i·cin. This is what makes the
+// cin-to-cout path of a block constant-depth and the whole adder faster
+// than the ripple chain.
+func claBlock(n *netlist.Netlist, a, b []netlist.NetID, cin netlist.NetID) (sum []netlist.NetID, cout netlist.NetID) {
+	k := len(a)
+	p := make([]netlist.NetID, k)
+	g := make([]netlist.NetID, k)
+	for i := 0; i < k; i++ {
+		p[i] = n.Xor(a[i], b[i])
+		g[i] = n.And(a[i], b[i])
+	}
+	// carries[i] is the carry INTO bit i; carries[k] is the block cout.
+	carries := make([]netlist.NetID, k+1)
+	carries[0] = cin
+	var groupG, groupP netlist.NetID
+	for i := 1; i <= k; i++ {
+		if i == 1 {
+			groupG, groupP = g[0], p[0]
+		} else {
+			groupG = n.Or(g[i-1], n.And(p[i-1], groupG))
+			groupP = n.And(p[i-1], groupP)
+		}
+		carries[i] = n.Or(groupG, n.And(groupP, cin))
+	}
+	sum = make([]netlist.NetID, k)
+	for i := 0; i < k; i++ {
+		sum[i] = n.Xor(p[i], carries[i])
+	}
+	return sum, carries[k]
+}
+
+// RippleSubtractor generates an m-bit two's-complement subtractor
+// diff = a - b implemented as a + ~b + 1. Ports: a[m], b[m] ->
+// diff[m], bout[1] (carry out of the adder; 1 means no borrow).
+func RippleSubtractor(m int) *netlist.Netlist {
+	checkWidth("ripple-subtractor", m, 1)
+	n := netlist.New(fmt.Sprintf("ripple_subtractor_%d", m))
+	a := n.AddInputBus("a", m)
+	b := n.AddInputBus("b", m)
+	nb := make([]netlist.NetID, m)
+	for i, id := range b.Nets {
+		nb[i] = n.Not(id)
+	}
+	diff, cout := rippleSum(n, a.Nets, nb, n.Const(true))
+	n.MarkOutputBus("diff", diff)
+	n.MarkOutputBus("bout", []netlist.NetID{cout})
+	return n
+}
+
+// Incrementer generates y = a + 1 as a half-adder chain. Ports: a[m] ->
+// y[m], cout[1].
+func Incrementer(m int) *netlist.Netlist {
+	checkWidth("incrementer", m, 1)
+	n := netlist.New(fmt.Sprintf("incrementer_%d", m))
+	a := n.AddInputBus("a", m)
+	y := make([]netlist.NetID, m)
+	carry := n.Const(true)
+	for i := 0; i < m; i++ {
+		y[i], carry = n.HalfAdder(a.Nets[i], carry)
+	}
+	n.MarkOutputBus("y", y)
+	n.MarkOutputBus("cout", []netlist.NetID{carry})
+	return n
+}
+
+// CarrySelectAdder generates an m-bit carry-select adder with 4-bit
+// groups: each group computes both carry-in hypotheses with two ripple
+// chains and selects with muxes. Ports: a[m], b[m] -> sum[m], cout[1].
+func CarrySelectAdder(m int) *netlist.Netlist {
+	checkWidth("carry-select-adder", m, 1)
+	n := netlist.New(fmt.Sprintf("carry_select_adder_%d", m))
+	a := n.AddInputBus("a", m)
+	b := n.AddInputBus("b", m)
+
+	sum := make([]netlist.NetID, m)
+	carry := n.Const(false)
+	for lo := 0; lo < m; lo += 4 {
+		hi := lo + 4
+		if hi > m {
+			hi = m
+		}
+		if lo == 0 {
+			// First group: carry-in is known (0), single ripple chain.
+			s, c := rippleSum(n, a.Nets[lo:hi], b.Nets[lo:hi], carry)
+			copy(sum[lo:hi], s)
+			carry = c
+			continue
+		}
+		s0, c0 := rippleSum(n, a.Nets[lo:hi], b.Nets[lo:hi], n.Const(false))
+		s1, c1 := rippleSum(n, a.Nets[lo:hi], b.Nets[lo:hi], n.Const(true))
+		for i := range s0 {
+			sum[lo+i] = n.Mux(s0[i], s1[i], carry)
+		}
+		carry = n.Mux(c0, c1, carry)
+	}
+	n.MarkOutputBus("sum", sum)
+	n.MarkOutputBus("cout", []netlist.NetID{carry})
+	return n
+}

@@ -1,0 +1,92 @@
+package dwlib
+
+import (
+	"fmt"
+
+	"hdpower/internal/netlist"
+)
+
+// add3 sums three bits into (sum, carry), strength-reducing full adders
+// whose inputs include constant-zero nets. Constant-one inputs are left to
+// the generic full adder; generators only ever feed const0 padding here.
+func add3(n *netlist.Netlist, x, y, z netlist.NetID) (sum, carry netlist.NetID) {
+	isZero := func(id netlist.NetID) bool {
+		v, c := n.IsConst(id)
+		return c && !v
+	}
+	// Sort the zero inputs to the front (order of addition is irrelevant).
+	in := []netlist.NetID{x, y, z}
+	zeros := 0
+	for i := 0; i < 3; i++ {
+		if isZero(in[i]) {
+			in[zeros], in[i] = in[i], in[zeros]
+			zeros++
+		}
+	}
+	switch zeros {
+	case 3:
+		return in[0], in[0] // both const0
+	case 2:
+		return in[2], in[0] // pass through, no carry
+	case 1:
+		return n.HalfAdder(in[1], in[2])
+	default:
+		return n.FullAdder(in[0], in[1], in[2])
+	}
+}
+
+// CSAMult generates an unsigned m1 x m2 carry-save array multiplier:
+// an AND-gate partial-product plane, m2-1 carry-save adder rows in series,
+// and a final ripple vector-merge adder. Ports: a[m1], b[m2] ->
+// prod[m1+m2].
+//
+// The array part has m1·m2 complexity and the merge adder m1+m2 — the two
+// complexity terms of the paper's eq. (7)/(8) regression for this module.
+func CSAMult(m1, m2 int) *netlist.Netlist {
+	checkWidth("csa-multiplier", m1, 2)
+	checkWidth("csa-multiplier", m2, 2)
+	n := netlist.New(fmt.Sprintf("csa_mult_%dx%d", m1, m2))
+	a := n.AddInputBus("a", m1)
+	b := n.AddInputBus("b", m2)
+	p := m1 + m2
+	zero := n.Const(false)
+
+	// S[k] and C[k] hold the carry-save accumulator at absolute bit k.
+	s := make([]netlist.NetID, p)
+	c := make([]netlist.NetID, p)
+	for k := range s {
+		s[k], c[k] = zero, zero
+	}
+	// Row 0 is just the first partial product.
+	for j := 0; j < m1; j++ {
+		s[j] = n.And(a.Nets[j], b.Nets[0])
+	}
+	// Rows 1..m2-1: absorb partial product i at positions i..i+m1-1.
+	for i := 1; i < m2; i++ {
+		pending := make([]netlist.NetID, 0, m1)
+		for j := 0; j < m1; j++ {
+			k := i + j
+			pp := n.And(a.Nets[j], b.Nets[i])
+			sum, carry := add3(n, s[k], c[k], pp)
+			s[k] = sum
+			c[k] = zero // consumed; carry is deferred to the next row
+			pending = append(pending, carry)
+		}
+		for j, carry := range pending {
+			c[i+j+1] = carry
+		}
+	}
+	// Vector-merge: positions below m2 are final, the rest ripple.
+	prod := make([]netlist.NetID, p)
+	copy(prod, s[:m2])
+	carry := zero
+	for k := m2; k < p; k++ {
+		var sum netlist.NetID
+		sum, carry = add3(n, s[k], c[k], carry)
+		prod[k] = sum
+	}
+	// The final carry out of bit p-1 is always 0 for unsigned operands
+	// (the product fits in m1+m2 bits), so it is intentionally dropped.
+	n.MarkOutputBus("prod", prod)
+	return n
+}

@@ -1,0 +1,172 @@
+package dwlib
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"hdpower/internal/logic"
+	"hdpower/internal/sim"
+)
+
+func TestMACExhaustiveSmall(t *testing.T) {
+	m := 3
+	nl := MAC(m)
+	s, err := sim.New(nl, sim.ZeroDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 8; a++ {
+		for b := uint64(0); b < 8; b++ {
+			for c := uint64(0); c < 64; c += 5 {
+				in := logic.FromUint(a, m).
+					Concat(logic.FromUint(b, m)).
+					Concat(logic.FromUint(c, 2*m))
+				acc, _ := s.Eval(in, "acc")
+				if acc.Uint() != a*b+c {
+					t.Fatalf("%d*%d+%d = %d, want %d", a, b, c, acc.Uint(), a*b+c)
+				}
+			}
+		}
+	}
+}
+
+func TestMACRandomLarge(t *testing.T) {
+	m := 8
+	nl := MAC(m)
+	s, _ := sim.New(nl, sim.ZeroDelay)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 200; i++ {
+		a := rng.Uint64() & 0xff
+		b := rng.Uint64() & 0xff
+		c := rng.Uint64() & 0xffff
+		in := logic.FromUint(a, m).
+			Concat(logic.FromUint(b, m)).
+			Concat(logic.FromUint(c, 2*m))
+		acc, _ := s.Eval(in, "acc")
+		if acc.Uint() != a*b+c {
+			t.Fatalf("%d*%d+%d = %d", a, b, c, acc.Uint())
+		}
+	}
+}
+
+func TestSquarerExhaustive(t *testing.T) {
+	for _, m := range []int{2, 4, 6, 8} {
+		nl := Squarer(m)
+		s, _ := sim.New(nl, sim.ZeroDelay)
+		for a := uint64(0); a < 1<<uint(m); a++ {
+			y, _ := s.Eval(logic.FromUint(a, m), "y")
+			if y.Uint() != a*a {
+				t.Fatalf("m=%d: %d^2 = %d, want %d", m, a, y.Uint(), a*a)
+			}
+		}
+	}
+}
+
+func TestSquarerSmallerThanMultiplier(t *testing.T) {
+	// The folded array must beat the general multiplier in gate count.
+	if Squarer(8).Stats().Gates >= CSAMult(8, 8).Stats().Gates {
+		t.Errorf("squarer gates %d !< multiplier gates %d",
+			Squarer(8).Stats().Gates, CSAMult(8, 8).Stats().Gates)
+	}
+}
+
+func TestGrayRoundTrip(t *testing.T) {
+	m := 6
+	enc, _ := sim.New(GrayEncoder(m), sim.ZeroDelay)
+	dec, _ := sim.New(GrayDecoder(m), sim.ZeroDelay)
+	for a := uint64(0); a < 64; a++ {
+		g, _ := enc.Eval(logic.FromUint(a, m), "g")
+		want := a ^ (a >> 1)
+		if g.Uint() != want {
+			t.Fatalf("gray(%d) = %d, want %d", a, g.Uint(), want)
+		}
+		back, _ := dec.Eval(g, "b")
+		if back.Uint() != a {
+			t.Fatalf("decode(encode(%d)) = %d", a, back.Uint())
+		}
+	}
+}
+
+func TestGrayAdjacency(t *testing.T) {
+	// Gray property: consecutive encodings differ in exactly one bit —
+	// the property that makes Gray counters the textbook low-Hd encoding
+	// for the Hd power model.
+	m := 8
+	enc, _ := sim.New(GrayEncoder(m), sim.ZeroDelay)
+	prev, _ := enc.Eval(logic.FromUint(0, m), "g")
+	for a := uint64(1); a < 256; a++ {
+		cur, _ := enc.Eval(logic.FromUint(a, m), "g")
+		if logic.Hd(prev, cur) != 1 {
+			t.Fatalf("gray(%d) -> gray(%d) has Hd %d", a-1, a, logic.Hd(prev, cur))
+		}
+		prev = cur
+	}
+}
+
+func TestLeadingZerosExhaustive(t *testing.T) {
+	for _, m := range []int{4, 8, 11} {
+		nl := LeadingZeros(m)
+		s, _ := sim.New(nl, sim.ZeroDelay)
+		for a := uint64(0); a < 1<<uint(m); a++ {
+			y, _ := s.Eval(logic.FromUint(a, m), "y")
+			want := uint64(m)
+			if a != 0 {
+				want = uint64(m - bits.Len64(a))
+			}
+			if y.Uint() != want {
+				t.Fatalf("m=%d: lz(%b) = %d, want %d", m, a, y.Uint(), want)
+			}
+		}
+	}
+}
+
+func TestMinMaxExhaustive(t *testing.T) {
+	m := 4
+	nl := MinMax(m)
+	s, _ := sim.New(nl, sim.ZeroDelay)
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			in := logic.FromUint(a, m).Concat(logic.FromUint(b, m))
+			lo, _ := s.Eval(in, "lo")
+			hi, _ := s.Eval(in, "hi")
+			wantLo, wantHi := a, b
+			if b < a {
+				wantLo, wantHi = b, a
+			}
+			if lo.Uint() != wantLo || hi.Uint() != wantHi {
+				t.Fatalf("minmax(%d,%d) = %d,%d", a, b, lo.Uint(), hi.Uint())
+			}
+		}
+	}
+}
+
+func TestSaturatingAdderExhaustive(t *testing.T) {
+	m := 5
+	nl := SaturatingAdder(m)
+	s, _ := sim.New(nl, sim.ZeroDelay)
+	minV, maxV := int64(-16), int64(15)
+	for a := minV; a <= maxV; a++ {
+		for b := minV; b <= maxV; b++ {
+			in := logic.FromInt(a, m).Concat(logic.FromInt(b, m))
+			sum, _ := s.Eval(in, "sum")
+			sat, _ := s.Eval(in, "sat")
+			want := a + b
+			wantSat := uint64(0)
+			if want > maxV {
+				want = maxV
+				wantSat = 1
+			}
+			if want < minV {
+				want = minV
+				wantSat = 1
+			}
+			if sum.Int() != want {
+				t.Fatalf("satadd(%d,%d) = %d, want %d", a, b, sum.Int(), want)
+			}
+			if sat.Uint() != wantSat {
+				t.Fatalf("satadd(%d,%d) sat = %d, want %d", a, b, sat.Uint(), wantSat)
+			}
+		}
+	}
+}

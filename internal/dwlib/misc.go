@@ -1,0 +1,104 @@
+package dwlib
+
+import (
+	"fmt"
+
+	"hdpower/internal/netlist"
+)
+
+// Comparator generates an m-bit unsigned magnitude comparator.
+// Ports: a[m], b[m] -> eq[1], lt[1] (lt means a < b).
+// Equality is an XNOR/AND tree; less-than is the borrow chain of a - b.
+func Comparator(m int) *netlist.Netlist {
+	checkWidth("comparator", m, 1)
+	n := netlist.New(fmt.Sprintf("comparator_%d", m))
+	a := n.AddInputBus("a", m)
+	b := n.AddInputBus("b", m)
+
+	// eq = AND over XNOR(a_i, b_i), balanced tree.
+	eqs := make([]netlist.NetID, m)
+	for i := 0; i < m; i++ {
+		eqs[i] = n.Xnor(a.Nets[i], b.Nets[i])
+	}
+	for len(eqs) > 1 {
+		var nxt []netlist.NetID
+		for i := 0; i+1 < len(eqs); i += 2 {
+			nxt = append(nxt, n.And(eqs[i], eqs[i+1]))
+		}
+		if len(eqs)%2 == 1 {
+			nxt = append(nxt, eqs[len(eqs)-1])
+		}
+		eqs = nxt
+	}
+
+	// borrow chain: borrow_{i+1} = (~a_i & b_i) | (~(a_i ^ b_i) & borrow_i)
+	borrow := n.Const(false)
+	for i := 0; i < m; i++ {
+		notA := n.Not(a.Nets[i])
+		gen := n.And(notA, b.Nets[i])
+		propagate := n.Xnor(a.Nets[i], b.Nets[i])
+		borrow = n.Or(gen, n.And(propagate, borrow))
+	}
+	n.MarkOutputBus("eq", []netlist.NetID{eqs[0]})
+	n.MarkOutputBus("lt", []netlist.NetID{borrow})
+	return n
+}
+
+// ParityTree generates a balanced XOR reduction over an m-bit operand.
+// Ports: a[m] -> y[1].
+func ParityTree(m int) *netlist.Netlist {
+	checkWidth("parity-tree", m, 2)
+	n := netlist.New(fmt.Sprintf("parity_tree_%d", m))
+	a := n.AddInputBus("a", m)
+	level := append([]netlist.NetID(nil), a.Nets...)
+	for len(level) > 1 {
+		var nxt []netlist.NetID
+		for i := 0; i+1 < len(level); i += 2 {
+			nxt = append(nxt, n.Xor(level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			nxt = append(nxt, level[len(level)-1])
+		}
+		level = nxt
+	}
+	n.MarkOutputBus("y", []netlist.NetID{level[0]})
+	return n
+}
+
+// shamtBits returns the number of shift-amount bits for an m-bit shifter:
+// the smallest s with 2^s >= m.
+func shamtBits(m int) int {
+	s := 0
+	for 1<<uint(s) < m {
+		s++
+	}
+	return s
+}
+
+// BarrelShifter generates a logarithmic logical left shifter: stage k
+// shifts by 2^k when shift-amount bit k is set; zeros fill vacated
+// positions. Shift amounts >= m produce zero. Ports: a[m], sh[ceil(log2 m)]
+// -> y[m].
+func BarrelShifter(m int) *netlist.Netlist {
+	checkWidth("barrel-shifter", m, 2)
+	n := netlist.New(fmt.Sprintf("barrel_shifter_%d", m))
+	a := n.AddInputBus("a", m)
+	sh := n.AddInputBus("sh", shamtBits(m))
+	zero := n.Const(false)
+
+	cur := append([]netlist.NetID(nil), a.Nets...)
+	for k := 0; k < sh.Width(); k++ {
+		step := 1 << uint(k)
+		nxt := make([]netlist.NetID, m)
+		for i := 0; i < m; i++ {
+			shifted := zero
+			if i-step >= 0 {
+				shifted = cur[i-step]
+			}
+			nxt[i] = n.Mux(cur[i], shifted, sh.Nets[k])
+		}
+		cur = nxt
+	}
+	n.MarkOutputBus("y", cur)
+	return n
+}

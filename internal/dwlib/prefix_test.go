@@ -1,0 +1,111 @@
+package dwlib
+
+import (
+	"math/rand"
+	"testing"
+
+	"hdpower/internal/bdd"
+	"hdpower/internal/logic"
+	"hdpower/internal/sim"
+)
+
+func TestKoggeStoneExhaustiveSmall(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 4, 5} {
+		nl := KoggeStoneAdder(m)
+		s, _ := sim.New(nl, sim.ZeroDelay)
+		for a := uint64(0); a < 1<<uint(m); a++ {
+			for b := uint64(0); b < 1<<uint(m); b++ {
+				sum, _ := s.Eval(twoOp(a, b, m), "sum")
+				cout, _ := s.Eval(twoOp(a, b, m), "cout")
+				total := a + b
+				if sum.Uint() != total&(1<<uint(m)-1) || cout.Uint() != total>>uint(m) {
+					t.Fatalf("m=%d: %d+%d = sum %d cout %d", m, a, b, sum.Uint(), cout.Uint())
+				}
+			}
+		}
+	}
+}
+
+func TestKoggeStoneRandom(t *testing.T) { randomAdderCheck(t, KoggeStoneAdder, "kogge-stone") }
+
+func TestBrentKungRandom(t *testing.T) { randomAdderCheck(t, BrentKungAdder, "brent-kung") }
+
+func TestPrefixAddersFormallyEquivalentToRipple(t *testing.T) {
+	// BDD proof across awkward (non-power-of-two) widths.
+	for _, m := range []int{5, 6, 7, 8, 12, 13} {
+		ripple := RippleAdder(m)
+		eq, cex, err := bdd.Equivalent(ripple, KoggeStoneAdder(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Errorf("kogge-stone width %d differs at %+v", m, cex)
+		}
+		eq, cex, err = bdd.Equivalent(ripple, BrentKungAdder(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Errorf("brent-kung width %d differs at %+v", m, cex)
+		}
+	}
+}
+
+func TestPrefixAdderDepths(t *testing.T) {
+	// Kogge-Stone must be the shallowest adder in the catalog at 32 bits;
+	// Brent-Kung must use fewer gates than Kogge-Stone.
+	ks := KoggeStoneAdder(32)
+	bk := BrentKungAdder(32)
+	ripple := RippleAdder(32)
+	if ks.Depth() >= ripple.Depth() {
+		t.Errorf("kogge-stone depth %d !< ripple depth %d", ks.Depth(), ripple.Depth())
+	}
+	if bk.Stats().Gates >= ks.Stats().Gates {
+		t.Errorf("brent-kung gates %d !< kogge-stone gates %d",
+			bk.Stats().Gates, ks.Stats().Gates)
+	}
+	if ks.Depth() > bk.Depth() {
+		t.Errorf("kogge-stone depth %d > brent-kung depth %d", ks.Depth(), bk.Depth())
+	}
+}
+
+func TestDaddaExhaustive4x4(t *testing.T) {
+	nl := DaddaMult(4)
+	s, _ := sim.New(nl, sim.ZeroDelay)
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			in := logic.FromUint(a, 4).Concat(logic.FromUint(b, 4))
+			prod, _ := s.Eval(in, "prod")
+			if prod.Uint() != a*b {
+				t.Fatalf("%d*%d = %d", a, b, prod.Uint())
+			}
+		}
+	}
+}
+
+func TestDaddaRandomLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, m := range []int{8, 12, 16} {
+		nl := DaddaMult(m)
+		s, _ := sim.New(nl, sim.ZeroDelay)
+		for i := 0; i < 150; i++ {
+			a := rng.Uint64() & (1<<uint(m) - 1)
+			b := rng.Uint64() & (1<<uint(m) - 1)
+			in := logic.FromUint(a, m).Concat(logic.FromUint(b, m))
+			prod, _ := s.Eval(in, "prod")
+			if prod.Uint() != a*b {
+				t.Fatalf("m=%d: %d*%d = %d", m, a, b, prod.Uint())
+			}
+		}
+	}
+}
+
+func TestDaddaMatchesCSAFormally(t *testing.T) {
+	eq, cex, err := bdd.Equivalent(CSAMult(4, 4), DaddaMult(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("dadda differs from CSA array at %+v", cex)
+	}
+}

@@ -1,0 +1,161 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation, wired to the reproduction's own substrates: the
+// dwlib module generators stand in for DesignWare, the event-driven
+// charge simulator for PowerMill, and seeded synthetic streams for the
+// recorded signals. Absolute charge units differ from the paper's; every
+// reported metric is relative, so the drivers reproduce the paper's
+// qualitative shape (see DESIGN.md for the per-experiment criteria).
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"hdpower/internal/core"
+	"hdpower/internal/dwlib"
+	"hdpower/internal/power"
+	"hdpower/internal/sim"
+	"hdpower/internal/stimuli"
+)
+
+// Config scales the experiments. The defaults reproduce the paper's
+// stream lengths; Quick shrinks everything for tests and smoke runs.
+type Config struct {
+	// CharPatterns is the number of characterization pairs per module
+	// instance.
+	CharPatterns int
+	// EvalPatterns is the length of each evaluation stream (the paper
+	// uses 5000–10000).
+	EvalPatterns int
+	// Widths are the operand widths of Table 1 (paper: 8, 12, 16).
+	Widths []int
+	// Seed anchors all pseudo-random streams.
+	Seed int64
+	// Engine is the reference simulation engine (EventDriven unless an
+	// ablation says otherwise).
+	Engine sim.Engine
+}
+
+// Default returns the full-scale configuration used for EXPERIMENTS.md.
+func Default() Config {
+	return Config{
+		CharPatterns: 8000,
+		EvalPatterns: 5000,
+		Widths:       []int{8, 12, 16},
+		Seed:         1999, // DATE 1999
+		Engine:       sim.EventDriven,
+	}
+}
+
+// Quick returns a reduced configuration for unit tests and -short runs.
+func Quick() Config {
+	return Config{
+		CharPatterns: 1500,
+		EvalPatterns: 800,
+		Widths:       []int{8},
+		Seed:         1999,
+		Engine:       sim.EventDriven,
+	}
+}
+
+// Suite runs experiments and caches characterized models so that tables
+// sharing instances (Table 1/2, Figure 1/2) characterize each only once.
+type Suite struct {
+	cfg Config
+
+	mu     sync.Mutex
+	models map[string]*core.Model
+}
+
+// New creates a Suite for a configuration.
+func New(cfg Config) *Suite {
+	if cfg.CharPatterns <= 0 || cfg.EvalPatterns <= 0 || len(cfg.Widths) == 0 {
+		panic("experiments: incomplete config")
+	}
+	return &Suite{cfg: cfg, models: make(map[string]*core.Model)}
+}
+
+// Config returns the suite configuration.
+func (s *Suite) Config() Config { return s.cfg }
+
+// meter builds a fresh charge meter for a module instance.
+func (s *Suite) meter(name string, width int) (*power.Meter, dwlib.Module, error) {
+	mod, err := dwlib.Lookup(name)
+	if err != nil {
+		return nil, dwlib.Module{}, err
+	}
+	meter, err := power.NewMeter(mod.Build(width), s.cfg.Engine)
+	if err != nil {
+		return nil, dwlib.Module{}, err
+	}
+	return meter, mod, nil
+}
+
+// Model characterizes (or returns the cached) Hd model for a module
+// instance. Enhanced models always embed the basic table too.
+func (s *Suite) Model(name string, width int, enhanced bool) (*core.Model, error) {
+	key := fmt.Sprintf("%s/%d/%v", name, width, enhanced)
+	s.mu.Lock()
+	if m, ok := s.models[key]; ok {
+		s.mu.Unlock()
+		return m, nil
+	}
+	s.mu.Unlock()
+
+	meter, _, err := s.meter(name, width)
+	if err != nil {
+		return nil, err
+	}
+	model, err := core.Characterize(meter, fmt.Sprintf("%s-%d", name, width),
+		core.CharacterizeOptions{
+			Patterns: s.cfg.CharPatterns,
+			Enhanced: enhanced,
+			Seed:     s.cfg.Seed + int64(width),
+		})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.models[key] = model
+	s.mu.Unlock()
+	return model, nil
+}
+
+// Stream builds the canonical input stream for a module instance and data
+// type: two-operand modules get two independently seeded operand streams
+// concatenated (paper Section 6.3 treats multi-input streams as
+// uncorrelated); the counter streams use phase-shifted starts so the two
+// ports are not identical.
+func (s *Suite) Stream(mod dwlib.Module, width int, dt stimuli.DataType) stimuli.Source {
+	base := s.cfg.Seed*1000 + int64(dt)*100 + int64(width)
+	if !mod.TwoOperand {
+		return stimuli.NewStream(dt, width, base)
+	}
+	a := stimuli.NewStream(dt, width, base)
+	b := stimuli.NewStream(dt, width, base+7)
+	if dt == stimuli.TypeCounter {
+		// Both counters advance together but from different phases.
+		b = phaseShiftedCounter(width, 1<<uint(width-2))
+	}
+	return stimuli.Concat(a, b)
+}
+
+func phaseShiftedCounter(width int, phase uint64) stimuli.Source {
+	src := stimuli.NewStream(stimuli.TypeCounter, width, 0)
+	for i := uint64(0); i < phase; i++ {
+		src.Next()
+	}
+	return src
+}
+
+// runEval plays the canonical stream for (module, width, dt) through a
+// fresh meter and returns the reference trace.
+func (s *Suite) runEval(name string, width int, dt stimuli.DataType) (power.Trace, error) {
+	meter, mod, err := s.meter(name, width)
+	if err != nil {
+		return power.Trace{}, err
+	}
+	src := s.Stream(mod, width, dt)
+	vecs := stimuli.Take(src, s.cfg.EvalPatterns+1)
+	return meter.Run(vecs)
+}

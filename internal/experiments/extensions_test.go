@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hdpower/internal/stimuli"
+)
+
+func TestEstimatorStudy(t *testing.T) {
+	res, err := quickSuite().EstimatorStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 { // 2 modules x 5 data types
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.SimAvg <= 0 {
+			t.Errorf("%s/%s: sim avg %v", row.Module, row.DataType, row.SimAvg)
+		}
+		for _, v := range []float64{row.ErrCycle, row.ErrDist, row.ErrAvgHd, row.ErrDBT} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s/%s: non-finite error %v", row.Module, row.DataType, v)
+			}
+		}
+		// The cycle-resolved estimator has the most information; on the
+		// zero-mean streams it must stay within reasonable bounds. (The
+		// video stream's positive mean freezes sign bits at one and the
+		// counter freezes them at zero — both bias the basic model, cf.
+		// Table 1.)
+		switch row.DataType {
+		case stimuli.TypeRandom, stimuli.TypeMusic, stimuli.TypeSpeech:
+			if abs(row.ErrCycle) > 25 {
+				t.Errorf("%s/%s: cycle estimator err %.1f%%", row.Module, row.DataType, row.ErrCycle)
+			}
+		}
+	}
+	if !strings.Contains(res.String(), "Estimator study") {
+		t.Error("String() missing title")
+	}
+}
+
+func TestEngineAblationShowsGlitchPower(t *testing.T) {
+	res, err := quickSuite().EngineAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The event-driven reference must contain real glitch charge...
+	if res.GlitchShare <= 0.02 {
+		t.Errorf("glitch share = %.3f, expected positive", res.GlitchShare)
+	}
+	// ...the zero-delay model must underestimate it by roughly that
+	// share, and the event-driven model must be much closer.
+	if res.ErrZeroDelayModel >= 0 {
+		t.Errorf("zero-delay model should underestimate, got %+.1f%%", res.ErrZeroDelayModel)
+	}
+	if math.Abs(res.ErrEventModel) >= math.Abs(res.ErrZeroDelayModel) {
+		t.Errorf("event model err %.1f%% not better than zero-delay %.1f%%",
+			res.ErrEventModel, res.ErrZeroDelayModel)
+	}
+	if !strings.Contains(res.String(), "Engine ablation") {
+		t.Error("String() missing title")
+	}
+}
+
+func TestZClusterAblationTradeoff(t *testing.T) {
+	res, err := quickSuite().ZClusterAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Coefficient counts must strictly shrink with coarser clustering.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Coefficients >= res.Rows[i-1].Coefficients {
+			t.Errorf("clustering level %d does not shrink the model: %d -> %d",
+				res.Rows[i].ZClusters, res.Rows[i-1].Coefficients, res.Rows[i].Coefficients)
+		}
+	}
+	// Full resolution row matches the paper's (m^2+m)/2.
+	if res.Rows[0].Coefficients != (16*16+16)/2 {
+		t.Errorf("full-resolution coefficients = %d", res.Rows[0].Coefficients)
+	}
+	if !strings.Contains(res.String(), "Z-cluster") {
+		t.Error("String() missing title")
+	}
+}
+
+func TestAdaptationStudyImproves(t *testing.T) {
+	res, err := quickSuite().AdaptationStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.ErrAfter) >= math.Abs(res.ErrBefore) {
+		t.Errorf("adaptation did not improve: %.1f%% -> %.1f%%",
+			res.ErrBefore, res.ErrAfter)
+	}
+	if math.Abs(res.ErrAfter) > 20 {
+		t.Errorf("adapted error still %.1f%%", res.ErrAfter)
+	}
+	if !strings.Contains(res.String(), "adaptation") {
+		t.Error("String() missing title")
+	}
+}
+
+func TestPortStudy(t *testing.T) {
+	res, err := quickSuite().PortStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PortCoefficients != (8+1)*(8+1)-1 { // (widthA+1)(widthB+1)−1
+		t.Errorf("port coefficients = %d", res.PortCoefficients)
+	}
+	// The port model's whole value proposition: much better on the
+	// frozen-coefficient stream.
+	if abs(res.PortFrozen) >= abs(res.BasicFrozen) {
+		t.Errorf("port model |%.1f%%| not better than basic |%.1f%%| on frozen port",
+			res.PortFrozen, res.BasicFrozen)
+	}
+	// And no collapse on the symmetric stream.
+	if abs(res.PortRandom) > 12 {
+		t.Errorf("port model random-stream error %.1f%%", res.PortRandom)
+	}
+	if !strings.Contains(res.String(), "Port-resolved") {
+		t.Error("String() missing title")
+	}
+}
+
+func TestBudgetStudyConverges(t *testing.T) {
+	res, err := quickSuite().BudgetStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if last.MaxCoefDrift != 0 {
+		t.Errorf("reference model drifts from itself: %v", last.MaxCoefDrift)
+	}
+	if first.MaxCoefDrift <= res.Rows[4].MaxCoefDrift {
+		t.Errorf("drift not shrinking: %v -> %v", first.MaxCoefDrift, res.Rows[4].MaxCoefDrift)
+	}
+	if abs(last.AvgErrRandom) > 6 {
+		t.Errorf("converged model error %.1f%%", last.AvgErrRandom)
+	}
+	if !strings.Contains(res.String(), "budget study") {
+		t.Error("String() missing title")
+	}
+}
+
+func TestRectStudy(t *testing.T) {
+	res, err := quickSuite().RectStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Classes) < 8 {
+		t.Fatalf("only %d classes compared", len(res.Classes))
+	}
+	if res.AvgRelErr > 20 {
+		t.Errorf("mean rect regression error %.1f%%", res.AvgRelErr)
+	}
+	if !strings.Contains(res.String(), "eq. 8") {
+		t.Error("String() missing title")
+	}
+}
+
+func TestEngineAblationInertialShare(t *testing.T) {
+	res, err := quickSuite().EngineAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inertial filtering removes part — not all — of the glitch charge.
+	if res.FilterableShare <= 0 {
+		t.Errorf("filterable share %.3f, want positive", res.FilterableShare)
+	}
+	if res.FilterableShare >= res.GlitchShare {
+		t.Errorf("filterable share %.3f not below total glitch share %.3f",
+			res.FilterableShare, res.GlitchShare)
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hdpower/internal/textplot"
+)
+
+// Figure1Module holds the characterized coefficient profile of one
+// 16-input-bit module prototype: p_i with its per-class average deviation
+// ε_i, i = 1..16.
+type Figure1Module struct {
+	Module string
+	// OperandWidth is the width passed to the generator (8 for
+	// two-operand modules, 16 for absval) so that every prototype has 16
+	// total input bits, making the figure's x axis comparable.
+	OperandWidth int
+	P            []float64 // P[i-1] = p_i
+	Epsilon      []float64 // Epsilon[i-1] = ε_i (fraction)
+	TotalEps     float64   // (1/m)·Σ ε_i
+}
+
+// Figure1Result reproduces Figure 1: model coefficients and deviations for
+// the 16-input-bit variants of the analyzed modules.
+type Figure1Result struct {
+	Modules []Figure1Module
+}
+
+// Figure1 characterizes the 16-input-bit prototype of each paper module
+// and collects the basic coefficient profiles.
+func (s *Suite) Figure1() (*Figure1Result, error) {
+	res := &Figure1Result{}
+	for _, mod := range figure1Prototypes() {
+		model, err := s.Model(mod.name, mod.width, false)
+		if err != nil {
+			return nil, err
+		}
+		fm := Figure1Module{Module: mod.name, OperandWidth: mod.width, TotalEps: model.TotalDeviation()}
+		for i := 1; i <= model.InputBits; i++ {
+			fm.P = append(fm.P, model.P(i))
+			fm.Epsilon = append(fm.Epsilon, model.Basic[i-1].Epsilon)
+		}
+		res.Modules = append(res.Modules, fm)
+	}
+	return res, nil
+}
+
+type proto struct {
+	name  string
+	width int
+}
+
+// figure1Prototypes selects widths so every module has 16 input bits.
+func figure1Prototypes() []proto {
+	return []proto{
+		{"ripple-adder", 8},
+		{"cla-adder", 8},
+		{"absval", 16},
+		{"csa-multiplier", 8},
+		{"booth-wallace-multiplier", 8},
+	}
+}
+
+// String renders the figure as error-bar plots plus a combined chart.
+func (r *Figure1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 1: coefficients p_i for 16-input-bit module variants\n\n")
+	var xs []float64
+	series := make([]textplot.Series, 0, len(r.Modules))
+	for _, m := range r.Modules {
+		ints := make([]int, len(m.P))
+		fs := make([]float64, len(m.P))
+		for i := range m.P {
+			ints[i] = i + 1
+			fs[i] = float64(i + 1)
+		}
+		if xs == nil {
+			xs = fs
+		}
+		b.WriteString(textplot.ErrorBars(
+			fmt.Sprintf("%s (operand width %d, total eps %.1f%%)",
+				m.Module, m.OperandWidth, m.TotalEps*100),
+			ints, m.P, m.Epsilon, 40))
+		b.WriteByte('\n')
+		series = append(series, textplot.Series{Name: m.Module, Y: m.P})
+	}
+	b.WriteString(textplot.Chart("all modules: p_i vs Hamming-distance", "Hd",
+		xs, series, 64, 16))
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hdpower/internal/core"
+	"hdpower/internal/logic"
+	"hdpower/internal/power"
+	"hdpower/internal/stimuli"
+)
+
+// PortStudyResult evaluates the port-resolved Hd model (an enhancement in
+// the spirit of the paper's "additional bit level information") against
+// the basic total-Hd model on the 8x8 CSA multiplier, for a symmetric
+// random stream and for the asymmetric live-data-vs-frozen-coefficient
+// stream of a constant-coefficient multiplier.
+type PortStudyResult struct {
+	Module string
+	Width  int
+	// Coefficient counts of the two models.
+	BasicCoefficients int
+	PortCoefficients  int
+	// Signed avg errors (%) per scenario.
+	BasicRandom, PortRandom float64
+	BasicFrozen, PortFrozen float64
+}
+
+// PortStudy runs the comparison.
+func (s *Suite) PortStudy() (*PortStudyResult, error) {
+	const name = "csa-multiplier"
+	const width = 8
+	basic, err := s.Model(name, width, false)
+	if err != nil {
+		return nil, err
+	}
+	meter, _, err := s.meter(name, width)
+	if err != nil {
+		return nil, err
+	}
+	port, err := core.CharacterizePorts(meter, name, width, width, core.CharacterizeOptions{
+		Patterns: s.cfg.CharPatterns * 2, // the 2-D table has ~5x the classes
+		Seed:     s.cfg.Seed + 77,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &PortStudyResult{Module: name, Width: width, PortCoefficients: port.NumCoefficients()}
+	res.BasicCoefficients, _ = basic.NumCoefficients()
+
+	score := func(words []logic.Word) (basicErr, portErr float64, err error) {
+		evalMeter, _, err := s.meter(name, width)
+		if err != nil {
+			return 0, 0, err
+		}
+		tr, err := evalMeter.Run(words)
+		if err != nil {
+			return 0, 0, err
+		}
+		hdA := make([]int, tr.Len())
+		hdB := make([]int, tr.Len())
+		for j := 1; j < len(words); j++ {
+			hdA[j-1] = logic.Hd(words[j-1].Slice(0, width), words[j].Slice(0, width))
+			hdB[j-1] = logic.Hd(words[j-1].Slice(width, 2*width), words[j].Slice(width, 2*width))
+		}
+		bEst := basic.EstimateBasic(tr.Hd)
+		pEst, err := port.Estimate(hdA, hdB)
+		if err != nil {
+			return 0, 0, err
+		}
+		if basicErr, err = power.AvgError(bEst, tr.Q); err != nil {
+			return 0, 0, err
+		}
+		if portErr, err = power.AvgError(pEst, tr.Q); err != nil {
+			return 0, 0, err
+		}
+		return basicErr, portErr, nil
+	}
+
+	// Scenario 1: symmetric random streams on both ports.
+	randWords := stimuli.Take(stimuli.Concat(
+		stimuli.Random(width, s.cfg.Seed+1),
+		stimuli.Random(width, s.cfg.Seed+2),
+	), s.cfg.EvalPatterns+1)
+	if res.BasicRandom, res.PortRandom, err = score(randWords); err != nil {
+		return nil, err
+	}
+
+	// Scenario 2: live data against a frozen coefficient port.
+	constB := logic.FromUint(0x5a&(1<<uint(width)-1), width)
+	src := stimuli.Random(width, s.cfg.Seed+3)
+	frozen := make([]logic.Word, s.cfg.EvalPatterns+1)
+	for i := range frozen {
+		frozen[i] = src.Next().Concat(constB)
+	}
+	if res.BasicFrozen, res.PortFrozen, err = score(frozen); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// String renders the study.
+func (r *PortStudyResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Port-resolved Hd model study, %s %dx%d:\n\n", r.Module, r.Width, r.Width)
+	fmt.Fprintf(&b, "  coefficients: basic %d, port-resolved %d\n\n",
+		r.BasicCoefficients, r.PortCoefficients)
+	fmt.Fprintf(&b, "  %-34s %10s %10s\n", "stream", "basic", "port")
+	fmt.Fprintf(&b, "  %-34s %+9.1f%% %+9.1f%%\n", "random on both ports",
+		r.BasicRandom, r.PortRandom)
+	fmt.Fprintf(&b, "  %-34s %+9.1f%% %+9.1f%%\n", "random data vs frozen coefficient",
+		r.BasicFrozen, r.PortFrozen)
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hdpower/internal/stimuli"
+)
+
+func TestFigure4RegressionTracksInstances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regression study characterizes 14 prototypes")
+	}
+	res, err := quickSuite().Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 6 { // 2 modules x 3 classes
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	for _, ser := range res.Series {
+		if len(ser.Widths) == 0 {
+			t.Fatalf("%s p_%d: no points", ser.Module, ser.Class)
+		}
+		for k := range ser.Widths {
+			inst := ser.Inst[k]
+			if inst == 0 {
+				continue
+			}
+			rel := abs(ser.RegAll[k]-inst) / inst
+			// Paper: differences below 5-10% in most cases; allow more
+			// slack at the quick characterization budget.
+			if rel > 0.30 {
+				t.Errorf("%s p_%d at width %d: ALL regression off by %.0f%%",
+					ser.Module, ser.Class, ser.Widths[k], rel*100)
+			}
+		}
+	}
+	if !strings.Contains(res.String(), "Figure 4") {
+		t.Error("String() missing title")
+	}
+}
+
+func TestTable3RegressionPreservesAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regression study characterizes 14 prototypes")
+	}
+	res, err := quickSuite().Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 { // 2 modules x (instance + 3 sets)
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Source == "instance" {
+			if row.ParamErrP1 != 0 || row.ParamErrAvg != 0 {
+				t.Errorf("%s instance row has nonzero param errors: %+v", row.Module, row)
+			}
+			continue
+		}
+		// Paper Table 3: regression coefficient errors stay small even
+		// for THI, and estimation errors stay in the same range as the
+		// instance row.
+		if row.ParamErrAvg > 35 {
+			t.Errorf("%s/%s: avg param error %.0f%%", row.Module, row.Source, row.ParamErrAvg)
+		}
+		if e := abs(row.EstErr[stimuli.TypeRandom]); e > 20 {
+			t.Errorf("%s/%s: estimation error on type I %.0f%%", row.Module, row.Source, e)
+		}
+	}
+	if !strings.Contains(res.String(), "Table 3") {
+		t.Error("String() missing title")
+	}
+}

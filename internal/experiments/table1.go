@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hdpower/internal/dwlib"
+	"hdpower/internal/power"
+	"hdpower/internal/stimuli"
+)
+
+// Table1Row is one (module, operand width) row of Table 1: the basic
+// Hd-model's per-cycle (ε_a) and average (ε) estimation errors against
+// the reference simulation, per data type I–V, in percent.
+type Table1Row struct {
+	Module     string
+	Width      int
+	CycleErr   map[stimuli.DataType]float64 // ε_a, absolute %
+	AverageErr map[stimuli.DataType]float64 // ε, signed %
+}
+
+// Table1Result reproduces Table 1.
+type Table1Result struct {
+	Rows []Table1Row
+	// AvgCycle and AvgAverage are the per-data-type column means of
+	// |error| — the paper's "average" row.
+	AvgCycle   map[stimuli.DataType]float64
+	AvgAverage map[stimuli.DataType]float64
+}
+
+// Table1 characterizes every paper module at every configured width and
+// evaluates the basic model on the five data-type streams.
+func (s *Suite) Table1() (*Table1Result, error) {
+	res := &Table1Result{
+		AvgCycle:   make(map[stimuli.DataType]float64),
+		AvgAverage: make(map[stimuli.DataType]float64),
+	}
+	for _, mod := range dwlib.PaperModules() {
+		for _, width := range s.cfg.Widths {
+			row, err := s.table1Row(mod, width)
+			if err != nil {
+				return nil, fmt.Errorf("table1 %s/%d: %w", mod.Name, width, err)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	for _, dt := range stimuli.AllDataTypes() {
+		var sc, sa float64
+		for _, row := range res.Rows {
+			sc += abs(row.CycleErr[dt])
+			sa += abs(row.AverageErr[dt])
+		}
+		res.AvgCycle[dt] = sc / float64(len(res.Rows))
+		res.AvgAverage[dt] = sa / float64(len(res.Rows))
+	}
+	return res, nil
+}
+
+func (s *Suite) table1Row(mod dwlib.Module, width int) (Table1Row, error) {
+	model, err := s.Model(mod.Name, width, false)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	row := Table1Row{
+		Module:     mod.Name,
+		Width:      width,
+		CycleErr:   make(map[stimuli.DataType]float64),
+		AverageErr: make(map[stimuli.DataType]float64),
+	}
+	for _, dt := range stimuli.AllDataTypes() {
+		tr, err := s.runEval(mod.Name, width, dt)
+		if err != nil {
+			return Table1Row{}, err
+		}
+		est := model.EstimateBasic(tr.Hd)
+		cyc, err := power.AvgAbsCycleError(est, tr.Q)
+		if err != nil {
+			return Table1Row{}, err
+		}
+		avg, err := power.AvgError(est, tr.Q)
+		if err != nil {
+			return Table1Row{}, err
+		}
+		row.CycleErr[dt] = cyc
+		row.AverageErr[dt] = avg
+	}
+	return row, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// String renders the table in the paper's layout.
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 1: estimation error of the basic Hd-model (in %)\n\n")
+	b.WriteString(fmt.Sprintf("%-26s %5s | %27s | %27s\n", "module", "width",
+		"cycle charge eps_a", "avg charge eps"))
+	b.WriteString(fmt.Sprintf("%-26s %5s | %5s %5s %5s %5s %5s | %5s %5s %5s %5s %5s\n",
+		"", "", "I", "II", "III", "IV", "V", "I", "II", "III", "IV", "V"))
+	line := strings.Repeat("-", 92) + "\n"
+	b.WriteString(line)
+	for _, row := range r.Rows {
+		b.WriteString(fmt.Sprintf("%-26s %5d |", row.Module, row.Width))
+		for _, dt := range stimuli.AllDataTypes() {
+			b.WriteString(fmt.Sprintf(" %5.0f", row.CycleErr[dt]))
+		}
+		b.WriteString(" |")
+		for _, dt := range stimuli.AllDataTypes() {
+			b.WriteString(fmt.Sprintf(" %5.0f", abs(row.AverageErr[dt])))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString(line)
+	b.WriteString(fmt.Sprintf("%-26s %5s |", "average", ""))
+	for _, dt := range stimuli.AllDataTypes() {
+		b.WriteString(fmt.Sprintf(" %5.0f", r.AvgCycle[dt]))
+	}
+	b.WriteString(" |")
+	for _, dt := range stimuli.AllDataTypes() {
+		b.WriteString(fmt.Sprintf(" %5.0f", r.AvgAverage[dt]))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

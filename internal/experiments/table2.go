@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hdpower/internal/power"
+	"hdpower/internal/stimuli"
+)
+
+// Table2Row compares basic and enhanced model errors for one data type.
+type Table2Row struct {
+	DataType      stimuli.DataType
+	CycleBasic    float64 // ε_a, %
+	CycleEnhanced float64
+	AvgBasic      float64 // ε, signed %
+	AvgEnhanced   float64
+}
+
+// Table2Result reproduces Table 2: basic vs enhanced Hd-model for a CSA
+// multiplier on data types I, III and V.
+type Table2Result struct {
+	Module string
+	Width  int
+	Rows   []Table2Row
+}
+
+// Table2 runs the comparison on the 8x8 CSA multiplier (the paper's
+// instance).
+func (s *Suite) Table2() (*Table2Result, error) {
+	const name = "csa-multiplier"
+	const width = 8
+	model, err := s.Model(name, width, true)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table2Result{Module: name, Width: width}
+	for _, dt := range []stimuli.DataType{stimuli.TypeRandom, stimuli.TypeSpeech, stimuli.TypeCounter} {
+		tr, err := s.runEval(name, width, dt)
+		if err != nil {
+			return nil, err
+		}
+		basicEst := model.EstimateBasic(tr.Hd)
+		enhEst, err := model.EstimateEnhanced(tr.Hd, tr.StableZeros)
+		if err != nil {
+			return nil, err
+		}
+		row := Table2Row{DataType: dt}
+		if row.CycleBasic, err = power.AvgAbsCycleError(basicEst, tr.Q); err != nil {
+			return nil, err
+		}
+		if row.CycleEnhanced, err = power.AvgAbsCycleError(enhEst, tr.Q); err != nil {
+			return nil, err
+		}
+		if row.AvgBasic, err = power.AvgError(basicEst, tr.Q); err != nil {
+			return nil, err
+		}
+		if row.AvgEnhanced, err = power.AvgError(enhEst, tr.Q); err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String renders the table in the paper's layout.
+func (r *Table2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: basic vs enhanced Hd-model, %s %dx%d (errors in %%)\n\n",
+		r.Module, r.Width, r.Width)
+	fmt.Fprintf(&b, "%-10s | %22s | %22s\n", "data type",
+		"cycle avg.abs. error", "average charge error")
+	fmt.Fprintf(&b, "%-10s | %10s %11s | %10s %11s\n", "",
+		"basic", "enhanced", "basic", "enhanced")
+	b.WriteString(strings.Repeat("-", 62) + "\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s | %10.0f %11.0f | %10.1f %11.1f\n",
+			row.DataType, row.CycleBasic, row.CycleEnhanced,
+			abs(row.AvgBasic), abs(row.AvgEnhanced))
+	}
+	return b.String()
+}

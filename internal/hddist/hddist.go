@@ -1,0 +1,177 @@
+// Package hddist implements Section 6 of the paper: computing the
+// Hamming-distance distribution of a data stream — either extracted
+// empirically or derived analytically from word-level statistics via the
+// dual-bit-type data model (eqs. 12–18) — and using it for average power
+// estimation together with an Hd macro-model.
+package hddist
+
+import (
+	"fmt"
+	"math"
+
+	"hdpower/internal/logic"
+	"hdpower/internal/stats"
+)
+
+// Dist is a probability distribution over Hamming-distances 0..m for an
+// m-bit word; len(d) == m+1 and the entries sum to 1 (within rounding).
+type Dist []float64
+
+// WordBits returns the word width m the distribution describes.
+func (d Dist) WordBits() int { return len(d) - 1 }
+
+// Mean returns the expected Hamming-distance.
+func (d Dist) Mean() float64 {
+	var s float64
+	for i, p := range d {
+		s += float64(i) * p
+	}
+	return s
+}
+
+// Sum returns the total probability mass (1 up to rounding for a valid
+// distribution).
+func (d Dist) Sum() float64 {
+	var s float64
+	for _, p := range d {
+		s += p
+	}
+	return s
+}
+
+// TotalVariation returns the total-variation distance to another
+// distribution over the same support: ½·Σ|d_i − o_i| ∈ [0, 1].
+func (d Dist) TotalVariation(o Dist) (float64, error) {
+	if len(d) != len(o) {
+		return 0, fmt.Errorf("hddist: support mismatch %d vs %d", len(d), len(o))
+	}
+	var s float64
+	for i := range d {
+		s += math.Abs(d[i] - o[i])
+	}
+	return s / 2, nil
+}
+
+// Empirical extracts the Hamming-distance distribution from a sequence of
+// per-cycle Hamming-distances of an m-bit stream.
+func Empirical(hds []int, m int) (Dist, error) {
+	if len(hds) == 0 {
+		return nil, fmt.Errorf("hddist: empty Hd series")
+	}
+	d := make(Dist, m+1)
+	for _, h := range hds {
+		if h < 0 || h > m {
+			return nil, fmt.Errorf("hddist: Hd %d out of range [0,%d]", h, m)
+		}
+		d[h]++
+	}
+	for i := range d {
+		d[i] /= float64(len(hds))
+	}
+	return d, nil
+}
+
+// FromWords extracts the empirical distribution directly from a word
+// stream.
+func FromWords(words []logic.Word) (Dist, error) {
+	if len(words) < 2 {
+		return nil, fmt.Errorf("hddist: need >= 2 words, got %d", len(words))
+	}
+	m := words[0].Width()
+	hds := make([]int, len(words)-1)
+	for j := 1; j < len(words); j++ {
+		hds[j-1] = logic.Hd(words[j-1], words[j])
+	}
+	return Empirical(hds, m)
+}
+
+// Binomial returns the binomial(n, p) distribution over 0..n — the
+// switching model of the uncorrelated region (eq. 12, with p = 1/2).
+func Binomial(n int, p float64) Dist {
+	if n < 0 {
+		panic(fmt.Sprintf("hddist: negative n %d", n))
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("hddist: probability %v outside [0,1]", p))
+	}
+	d := make(Dist, n+1)
+	// Iterative Pascal update keeps this exact enough for n <= 64.
+	d[0] = 1
+	for trial := 0; trial < n; trial++ {
+		for i := trial + 1; i >= 1; i-- {
+			d[i] = d[i]*(1-p) + d[i-1]*p
+		}
+		d[0] *= 1 - p
+	}
+	return d
+}
+
+// Regions holds the merged two-region decomposition of Section 6.3: the
+// intermediate (correlated) bits are split evenly between the random and
+// sign regions, which leaves a binomially switching part of NRand bits and
+// an all-or-nothing sign part of NSign bits.
+type Regions struct {
+	NRand int
+	NSign int
+	TSign float64
+}
+
+// MergeRegions reduces the three-region data model to the paper's merged
+// two-region form: half of the intermediate bits (rounded down) join the
+// random region, the rest join the sign region, preserving the average
+// activity.
+func MergeRegions(r stats.RegionActivity, m int) Regions {
+	nRand := r.NRand + r.NCorr/2
+	if nRand > m {
+		nRand = m
+	}
+	return Regions{NRand: nRand, NSign: m - nRand, TSign: r.TSign}
+}
+
+// FromRegions evaluates the unified closed form (eq. 18):
+//
+//	p(Hd = i) = δ_SS̄ · p_rand(i) · (1 − t_sign)
+//	          + δ_SS · p_rand(i − n_sign) · t_sign
+//
+// where p_rand is binomial(n_rand, ½), δ_SS̄ cuts off above n_rand and
+// δ_SS below n_sign. The result covers Hd 0..m with m = NRand + NSign.
+func FromRegions(r Regions) Dist {
+	m := r.NRand + r.NSign
+	pRand := Binomial(r.NRand, 0.5)
+	d := make(Dist, m+1)
+	for i := 0; i <= m; i++ {
+		if i <= r.NRand { // δ_SS̄: no sign-region event
+			d[i] += pRand[i] * (1 - r.TSign)
+		}
+		if i >= r.NSign { // δ_SS: sign-region event
+			if k := i - r.NSign; k <= r.NRand {
+				d[i] += pRand[k] * r.TSign
+			}
+		}
+	}
+	return d
+}
+
+// FromWordStats computes the analytic Hamming-distance distribution of an
+// m-bit stream from its word-level statistics — the paper's end-to-end
+// recipe: breakpoints → region activities → merged regions → eq. 18.
+func FromWordStats(ws stats.WordStats, m int) Dist {
+	return FromRegions(MergeRegions(stats.Regions(ws, m), m))
+}
+
+// Convolve combines the distributions of two uncorrelated input streams
+// feeding disjoint input ports into the distribution of the concatenated
+// input vector (the multi-input extension the paper sketches at the end of
+// Section 6.3).
+func Convolve(a, b Dist) Dist {
+	out := make(Dist, len(a)+len(b)-1)
+	for i, pa := range a {
+		if pa == 0 {
+			continue
+		}
+		for j, pb := range b {
+			out[i+j] += pa * pb
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package hddist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hdpower/internal/stats"
+)
+
+// Property: the analytic distribution is a valid probability distribution
+// with the right support for any plausible word statistics.
+func TestFromWordStatsValidDistributionProperty(t *testing.T) {
+	f := func(mean, std, rho float64, w8 uint8) bool {
+		m := 1 + int(w8%48)
+		ws := stats.WordStats{
+			Mean: math.Mod(mean, 1e4),
+			Std:  math.Abs(math.Mod(std, 3e4)),
+			Rho:  math.Mod(rho, 0.999),
+		}
+		d := FromWordStats(ws, m)
+		if len(d) != m+1 {
+			return false
+		}
+		for _, p := range d {
+			if p < -1e-12 || p > 1+1e-12 || math.IsNaN(p) {
+				return false
+			}
+		}
+		return math.Abs(d.Sum()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: convolution preserves total mass and adds means.
+func TestConvolveProperty(t *testing.T) {
+	f := func(a8, b8 uint8, ta, tb float64) bool {
+		ra := Regions{NRand: int(a8 % 12), NSign: int(a8 % 5), TSign: math.Abs(math.Mod(ta, 1))}
+		rb := Regions{NRand: int(b8 % 12), NSign: int(b8 % 7), TSign: math.Abs(math.Mod(tb, 1))}
+		da, db := FromRegions(ra), FromRegions(rb)
+		c := Convolve(da, db)
+		if math.Abs(c.Sum()-1) > 1e-9 {
+			return false
+		}
+		return math.Abs(c.Mean()-(da.Mean()+db.Mean())) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total variation is a bounded metric (symmetry + range).
+func TestTotalVariationMetricProperty(t *testing.T) {
+	f := func(a8, b8 uint8, ta, tb float64) bool {
+		n := 1 + int(a8%10)
+		da := FromRegions(Regions{NRand: n, NSign: int(b8 % 4), TSign: math.Abs(math.Mod(ta, 1))})
+		db := FromRegions(Regions{NRand: n, NSign: int(b8 % 4), TSign: math.Abs(math.Mod(tb, 1))})
+		ab, err1 := da.TotalVariation(db)
+		ba, err2 := db.TotalVariation(da)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(ab-ba) < 1e-12 && ab >= -1e-12 && ab <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,200 @@
+// Package hls applies the Hd power macro-model to the high-level
+// synthesis task that motivates the paper (introduction, refs. [5–8]):
+// binding a scheduled set of operations to a limited number of identical
+// functional units so that the switching activity — and with the Hd model,
+// the *predicted power* — of the unit inputs is minimized.
+//
+// The model of computation is the classic iterative schedule: every
+// operation executes once per loop iteration, operations bound to the
+// same unit execute back-to-back in schedule order, and the unit's power
+// is the Hd-model estimate over its resulting input vector sequence.
+// Because the model maps Hamming-distances to charge, the optimizer
+// minimizes actual predicted energy rather than raw toggle counts.
+package hls
+
+import (
+	"fmt"
+	"math"
+
+	"hdpower/internal/core"
+	"hdpower/internal/logic"
+)
+
+// Operation is one scheduled operation: Steps[t] is the packed input
+// vector it applies to its functional unit in iteration t.
+type Operation struct {
+	Name  string
+	Steps []logic.Word
+}
+
+// Problem is a binding problem instance: operations to distribute over
+// identical functional units characterized by Model.
+type Problem struct {
+	// Model is the Hd macro-model of the functional unit type.
+	Model *core.Model
+	// Ops are the operations in schedule order.
+	Ops []Operation
+	// Units is the number of available functional units.
+	Units int
+}
+
+// Validate checks the problem for consistency.
+func (p *Problem) Validate() error {
+	if p.Model == nil {
+		return fmt.Errorf("hls: nil model")
+	}
+	if err := p.Model.Validate(); err != nil {
+		return err
+	}
+	if p.Units < 1 {
+		return fmt.Errorf("hls: %d units", p.Units)
+	}
+	if len(p.Ops) == 0 {
+		return fmt.Errorf("hls: no operations")
+	}
+	T := len(p.Ops[0].Steps)
+	if T == 0 {
+		return fmt.Errorf("hls: operation %q has no steps", p.Ops[0].Name)
+	}
+	for _, op := range p.Ops {
+		if len(op.Steps) != T {
+			return fmt.Errorf("hls: operation %q has %d steps, want %d", op.Name, len(op.Steps), T)
+		}
+		for t, w := range op.Steps {
+			if w.Width() != p.Model.InputBits {
+				return fmt.Errorf("hls: operation %q step %d width %d, model wants %d",
+					op.Name, t, w.Width(), p.Model.InputBits)
+			}
+		}
+	}
+	return nil
+}
+
+// Cost returns the total predicted energy per iteration of a binding:
+// binding[i] is the unit operation i is bound to. The unit input sequence
+// interleaves its bound operations in schedule order across iterations
+// (including the wrap from one iteration to the next), and each
+// transition costs p(Hd) under the model.
+func (p *Problem) Cost(binding []int) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if len(binding) != len(p.Ops) {
+		return 0, fmt.Errorf("hls: binding covers %d ops, want %d", len(binding), len(p.Ops))
+	}
+	for i, u := range binding {
+		if u < 0 || u >= p.Units {
+			return 0, fmt.Errorf("hls: op %d bound to unit %d of %d", i, u, p.Units)
+		}
+	}
+	T := len(p.Ops[0].Steps)
+	var total float64
+	for u := 0; u < p.Units; u++ {
+		var members []int
+		for i, b := range binding {
+			if b == u {
+				members = append(members, i)
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		var prev logic.Word
+		first := true
+		for t := 0; t < T; t++ {
+			for _, i := range members {
+				cur := p.Ops[i].Steps[t]
+				if !first {
+					total += p.Model.P(logic.Hd(prev, cur))
+				}
+				prev = cur
+				first = false
+			}
+		}
+	}
+	// Normalize per iteration so costs are comparable across T.
+	return total / float64(T), nil
+}
+
+// Greedy assigns operations one at a time (in schedule order) to the unit
+// with the smallest incremental cost, a standard low-power binding
+// heuristic. Returns the binding and its cost.
+func (p *Problem) Greedy() ([]int, float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	binding := make([]int, 0, len(p.Ops))
+	for i := range p.Ops {
+		bestUnit, bestCost := 0, math.Inf(1)
+		for u := 0; u < p.Units; u++ {
+			trial := append(append([]int(nil), binding...), u)
+			c, err := p.partialCost(trial, i+1)
+			if err != nil {
+				return nil, 0, err
+			}
+			if c < bestCost {
+				bestUnit, bestCost = u, c
+			}
+		}
+		binding = append(binding, bestUnit)
+	}
+	cost, err := p.Cost(binding)
+	return binding, cost, err
+}
+
+// partialCost evaluates Cost over the first n operations only.
+func (p *Problem) partialCost(binding []int, n int) (float64, error) {
+	sub := &Problem{Model: p.Model, Ops: p.Ops[:n], Units: p.Units}
+	return sub.Cost(binding)
+}
+
+// Optimal searches all unit assignments (with unit-symmetry pruning: the
+// first operation on each fresh unit uses the lowest unused index) and
+// returns the minimum-cost binding. Exponential; intended for problems
+// with at most ~10 operations.
+func (p *Problem) Optimal() ([]int, float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	const maxOps = 12
+	if len(p.Ops) > maxOps {
+		return nil, 0, fmt.Errorf("hls: %d ops exceed exhaustive search limit %d (use Greedy)",
+			len(p.Ops), maxOps)
+	}
+	best := make([]int, len(p.Ops))
+	bestCost := math.Inf(1)
+	cur := make([]int, len(p.Ops))
+	var rec func(i, used int) error
+	rec = func(i, used int) error {
+		if i == len(p.Ops) {
+			c, err := p.Cost(cur)
+			if err != nil {
+				return err
+			}
+			if c < bestCost {
+				bestCost = c
+				copy(best, cur)
+			}
+			return nil
+		}
+		limit := used + 1 // symmetry: a new unit must be the next index
+		if limit > p.Units {
+			limit = p.Units
+		}
+		for u := 0; u < limit; u++ {
+			cur[i] = u
+			nextUsed := used
+			if u == used {
+				nextUsed++
+			}
+			if err := rec(i+1, nextUsed); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0, 0); err != nil {
+		return nil, 0, err
+	}
+	return best, bestCost, nil
+}

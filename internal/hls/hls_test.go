@@ -1,0 +1,182 @@
+package hls
+
+import (
+	"math/rand"
+	"testing"
+
+	"hdpower/internal/core"
+	"hdpower/internal/logic"
+	"hdpower/internal/stimuli"
+)
+
+// linearModel returns a model with p_i = i over m input bits, so costs
+// equal summed Hamming-distances — easy to reason about in tests.
+func linearModel(m int) *core.Model {
+	model := &core.Model{Module: "lin", InputBits: m, Basic: make([]core.Coef, m)}
+	for i := 1; i <= m; i++ {
+		model.Basic[i-1] = core.Coef{P: float64(i), Count: 1}
+	}
+	return model
+}
+
+func constOp(name string, w logic.Word, steps int) Operation {
+	op := Operation{Name: name}
+	for t := 0; t < steps; t++ {
+		op.Steps = append(op.Steps, w)
+	}
+	return op
+}
+
+func TestValidate(t *testing.T) {
+	m := linearModel(4)
+	good := &Problem{Model: m, Units: 1, Ops: []Operation{
+		constOp("a", logic.FromUint(1, 4), 3),
+	}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid problem rejected: %v", err)
+	}
+	cases := []*Problem{
+		{Model: nil, Units: 1, Ops: good.Ops},
+		{Model: m, Units: 0, Ops: good.Ops},
+		{Model: m, Units: 1},
+		{Model: m, Units: 1, Ops: []Operation{constOp("a", logic.FromUint(1, 5), 3)}},
+		{Model: m, Units: 1, Ops: []Operation{
+			constOp("a", logic.FromUint(1, 4), 3),
+			constOp("b", logic.FromUint(1, 4), 2), // step mismatch
+		}},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestCostConstantOpsIsZero(t *testing.T) {
+	// One op repeating one vector: no transitions, no cost.
+	p := &Problem{Model: linearModel(4), Units: 1, Ops: []Operation{
+		constOp("a", logic.FromUint(5, 4), 10),
+	}}
+	c, err := p.Cost([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0 {
+		t.Errorf("cost = %v", c)
+	}
+}
+
+func TestCostKnownAlternation(t *testing.T) {
+	// Two constant ops with Hd 4 between them sharing one unit: every
+	// execution alternates 0000 <-> 1111, costing p(4) = 4 per
+	// transition, 2 transitions per iteration (including wrap).
+	p := &Problem{Model: linearModel(4), Units: 2, Ops: []Operation{
+		constOp("a", logic.FromUint(0, 4), 8),
+		constOp("b", logic.FromUint(0xf, 4), 8),
+	}}
+	shared, err := p.Cost([]int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 iterations, 16 executions, 15 transitions of Hd 4, /8 iters
+	if want := 4.0 * 15 / 8; shared != want {
+		t.Errorf("shared cost = %v, want %v", shared, want)
+	}
+	split, err := p.Cost([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split != 0 {
+		t.Errorf("split cost = %v, want 0 (each unit sees a constant)", split)
+	}
+}
+
+func TestCostValidation(t *testing.T) {
+	p := &Problem{Model: linearModel(4), Units: 1, Ops: []Operation{
+		constOp("a", logic.FromUint(0, 4), 2),
+	}}
+	if _, err := p.Cost([]int{0, 0}); err == nil {
+		t.Error("wrong binding length accepted")
+	}
+	if _, err := p.Cost([]int{1}); err == nil {
+		t.Error("out-of-range unit accepted")
+	}
+}
+
+func TestOptimalFindsObviousSplit(t *testing.T) {
+	p := &Problem{Model: linearModel(4), Units: 2, Ops: []Operation{
+		constOp("a", logic.FromUint(0, 4), 4),
+		constOp("b", logic.FromUint(0xf, 4), 4),
+	}}
+	binding, cost, err := p.Optimal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Errorf("optimal cost = %v", cost)
+	}
+	if binding[0] == binding[1] {
+		t.Errorf("optimal binding shares a unit: %v", binding)
+	}
+}
+
+func TestOptimalPrefersSharingCoherentOps(t *testing.T) {
+	// Three ops: two identical streams and one alien stream; 2 units.
+	// Optimum binds the twins together.
+	rng := rand.New(rand.NewSource(3))
+	var twinSteps, alienSteps []logic.Word
+	for t := 0; t < 16; t++ {
+		twinSteps = append(twinSteps, logic.FromUint(rng.Uint64()&0xff, 8))
+		alienSteps = append(alienSteps, logic.FromUint(rng.Uint64()&0xff, 8))
+	}
+	p := &Problem{Model: linearModel(8), Units: 2, Ops: []Operation{
+		{Name: "twin1", Steps: twinSteps},
+		{Name: "alien", Steps: alienSteps},
+		{Name: "twin2", Steps: twinSteps},
+	}}
+	binding, _, err := p.Optimal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binding[0] != binding[2] {
+		t.Errorf("twins split across units: %v", binding)
+	}
+	if binding[1] == binding[0] {
+		t.Errorf("alien shares the twins' unit: %v", binding)
+	}
+}
+
+func TestGreedyNeverBeatsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		nOps := 3 + rng.Intn(4)
+		var ops []Operation
+		for i := 0; i < nOps; i++ {
+			src := stimuli.Random(8, rng.Int63())
+			ops = append(ops, Operation{Name: "op", Steps: stimuli.Take(src, 12)})
+		}
+		p := &Problem{Model: linearModel(8), Units: 2, Ops: ops}
+		_, gCost, err := p.Greedy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, oCost, err := p.Optimal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oCost > gCost+1e-9 {
+			t.Errorf("trial %d: optimal %v worse than greedy %v", trial, oCost, gCost)
+		}
+	}
+}
+
+func TestOptimalRefusesHugeProblems(t *testing.T) {
+	ops := make([]Operation, 13)
+	for i := range ops {
+		ops[i] = constOp("x", logic.FromUint(0, 4), 2)
+	}
+	p := &Problem{Model: linearModel(4), Units: 2, Ops: ops}
+	if _, _, err := p.Optimal(); err == nil {
+		t.Error("13-op exhaustive search accepted")
+	}
+}

@@ -1,0 +1,59 @@
+package netlist
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT emits the netlist as a Graphviz digraph for inspection and
+// documentation. Primary inputs are boxes, constants are diamonds, gates
+// are ellipses labelled with kind and id, and output nets are doubled
+// circles.
+func (n *Netlist) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n", n.Name); err != nil {
+		return err
+	}
+	outNets := make(map[NetID]string)
+	for _, b := range n.outputs {
+		for i, id := range b.Nets {
+			outNets[id] = fmt.Sprintf("%s[%d]", b.Name, i)
+		}
+	}
+	// Source nodes: inputs and constants.
+	for id, nt := range n.nets {
+		switch nt.drvKind {
+		case driverInput:
+			if _, err := fmt.Fprintf(w, "  n%d [shape=box,label=%q];\n", id, nt.name); err != nil {
+				return err
+			}
+		case driverConst:
+			if _, err := fmt.Fprintf(w, "  n%d [shape=diamond,label=%q];\n", id, nt.name); err != nil {
+				return err
+			}
+		}
+	}
+	// Gates and their wiring.
+	for gi, g := range n.gates {
+		label := fmt.Sprintf("%s#%d", g.kind, gi)
+		if name, ok := outNets[g.out]; ok {
+			label += "\\n-> " + name
+		}
+		if _, err := fmt.Fprintf(w, "  g%d [label=%q];\n", gi, label); err != nil {
+			return err
+		}
+		for _, in := range g.in {
+			src := n.nets[in]
+			var from string
+			if src.drvKind == driverGate {
+				from = fmt.Sprintf("g%d", src.drvGate)
+			} else {
+				from = fmt.Sprintf("n%d", in)
+			}
+			if _, err := fmt.Fprintf(w, "  %s -> g%d;\n", from, gi); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,201 @@
+package netlist
+
+import (
+	"fmt"
+
+	"hdpower/internal/cells"
+)
+
+// Sweep returns a functionally equivalent copy of the netlist with
+// constants propagated and unreachable logic removed:
+//
+//   - gates whose inputs are all constants are folded away,
+//   - gates with some constant inputs are strength-reduced to smaller
+//     gates where the cell library allows (e.g. AND2(x, 1) → BUF(x),
+//     XOR2(x, 1) → INV(x)),
+//   - gates whose outputs reach no output bus are deleted.
+//
+// Primary input buses are preserved verbatim (including unused bits), so
+// the swept netlist accepts the same input vectors. Generators in this
+// repository mostly avoid constant-input gates by construction; Sweep is
+// the safety net for hand-built or composed netlists.
+func (n *Netlist) Sweep() (*Netlist, error) {
+	if err := n.Finalize(); err != nil {
+		return nil, err
+	}
+	out := New(n.Name + "_swept")
+
+	// Map old nets to new nets, or to constants.
+	type mapping = netMapping
+	remap := make([]mapping, n.NumNets())
+	seen := make([]bool, n.NumNets())
+
+	for _, b := range n.inputs {
+		nb := out.AddInputBus(b.Name, b.Width())
+		for i, old := range b.Nets {
+			remap[old] = mapping{net: nb.Nets[i]}
+			seen[old] = true
+		}
+	}
+	for id := 0; id < n.NumNets(); id++ {
+		if v, isC := n.IsConst(NetID(id)); isC {
+			remap[id] = mapping{isConst: true, val: v}
+			seen[id] = true
+		}
+	}
+
+	// Liveness: walk back from output buses.
+	live := make([]bool, n.NumGates())
+	var mark func(id NetID)
+	mark = func(id NetID) {
+		if n.IsInput(id) {
+			return
+		}
+		if _, isC := n.IsConst(id); isC {
+			return
+		}
+		for g := range n.gates {
+			if n.gates[g].out == id {
+				if live[g] {
+					return
+				}
+				live[g] = true
+				for _, in := range n.gates[g].in {
+					mark(in)
+				}
+				return
+			}
+		}
+	}
+	for _, b := range n.outputs {
+		for _, id := range b.Nets {
+			mark(id)
+		}
+	}
+
+	// Rebuild live gates in topological order with folding.
+	for _, g := range n.TopoOrder() {
+		if !live[g] {
+			continue
+		}
+		old := n.gates[g]
+		ins := make([]mapping, len(old.in))
+		allConst := true
+		for i, in := range old.in {
+			if !seen[in] {
+				return nil, fmt.Errorf("netlist: sweep order violated at gate %d", g)
+			}
+			ins[i] = remap[in]
+			if !ins[i].isConst {
+				allConst = false
+			}
+		}
+		if allConst {
+			vals := make([]bool, len(ins))
+			for i, m := range ins {
+				vals[i] = m.val
+			}
+			remap[old.out] = mapping{isConst: true, val: cells.Eval(old.kind, vals)}
+			seen[old.out] = true
+			continue
+		}
+		if m, ok := foldPartial(out, old.kind, ins); ok {
+			remap[old.out] = m
+			seen[old.out] = true
+			continue
+		}
+		// No folding possible: rebuild verbatim, materializing constant
+		// inputs as tie nets.
+		newIns := make([]NetID, len(ins))
+		for i, m := range ins {
+			if m.isConst {
+				newIns[i] = out.Const(m.val)
+			} else {
+				newIns[i] = m.net
+			}
+		}
+		remap[old.out] = mapping{net: out.AddGate(old.kind, newIns...)}
+		seen[old.out] = true
+	}
+
+	for _, b := range n.outputs {
+		nets := make([]NetID, len(b.Nets))
+		for i, id := range b.Nets {
+			m := remap[id]
+			if m.isConst {
+				nets[i] = out.Const(m.val)
+			} else {
+				nets[i] = m.net
+			}
+		}
+		out.MarkOutputBus(b.Name, nets)
+	}
+	if err := out.Finalize(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// foldPartial strength-reduces two-input gates with exactly one constant
+// input. Returns ok=false when no reduction applies.
+func foldPartial(out *Netlist, kind cells.Kind, ins []netMapping) (netMapping, bool) {
+	if len(ins) != 2 {
+		return netMapping{}, false
+	}
+	var c bool
+	var x netMapping
+	switch {
+	case ins[0].isConst && !ins[1].isConst:
+		c, x = ins[0].val, ins[1]
+	case ins[1].isConst && !ins[0].isConst:
+		c, x = ins[1].val, ins[0]
+	default:
+		return netMapping{}, false
+	}
+	passthrough := func() (netMapping, bool) { return x, true }
+	constant := func(v bool) (netMapping, bool) { return netMapping{isConst: true, val: v}, true }
+	invert := func() (netMapping, bool) {
+		return netMapping{net: out.Not(x.net)}, true
+	}
+	switch kind {
+	case cells.And2:
+		if c {
+			return passthrough()
+		}
+		return constant(false)
+	case cells.Or2:
+		if c {
+			return constant(true)
+		}
+		return passthrough()
+	case cells.Nand2:
+		if c {
+			return invert()
+		}
+		return constant(true)
+	case cells.Nor2:
+		if c {
+			return constant(false)
+		}
+		return invert()
+	case cells.Xor2:
+		if c {
+			return invert()
+		}
+		return passthrough()
+	case cells.Xnor2:
+		if c {
+			return passthrough()
+		}
+		return invert()
+	}
+	return netMapping{}, false
+}
+
+// netMapping maps an original net to its replacement: either a net in
+// the swept netlist or a known constant value.
+type netMapping struct {
+	net     NetID
+	isConst bool
+	val     bool
+}

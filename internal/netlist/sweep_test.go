@@ -1,0 +1,182 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"hdpower/internal/cells"
+)
+
+// evalNetlist computes an output bus value by direct recursive evaluation
+// (test-local oracle, no simulator dependency to avoid an import cycle).
+func evalNetlist(t *testing.T, n *Netlist, inputs uint64, busName string) uint64 {
+	t.Helper()
+	memo := make(map[NetID]bool)
+	inputNets := n.InputNets()
+	var eval func(id NetID) bool
+	eval = func(id NetID) bool {
+		if v, ok := memo[id]; ok {
+			return v
+		}
+		if v, isC := n.IsConst(id); isC {
+			return v
+		}
+		for i, in := range inputNets {
+			if in == id {
+				return inputs>>uint(i)&1 == 1
+			}
+		}
+		for g := 0; g < n.NumGates(); g++ {
+			if n.GateOutput(GateID(g)) == id {
+				ins := n.GateInputs(GateID(g))
+				vals := make([]bool, len(ins))
+				for i, in := range ins {
+					vals[i] = eval(in)
+				}
+				v := cells.Eval(n.GateKind(GateID(g)), vals)
+				memo[id] = v
+				return v
+			}
+		}
+		t.Fatalf("net %d undriven", id)
+		return false
+	}
+	for _, b := range n.Outputs() {
+		if b.Name == busName {
+			var out uint64
+			for i, id := range b.Nets {
+				if eval(id) {
+					out |= 1 << uint(i)
+				}
+			}
+			return out
+		}
+	}
+	t.Fatalf("no output bus %q", busName)
+	return 0
+}
+
+// constLadenCircuit builds a circuit full of constant-input and dead
+// gates: y[0] = a&1 (buf), y[1] = a^1 (inv), y[2] = (a|0)&(b&0 -> 0) = 0,
+// plus an unused XOR tree.
+func constLadenCircuit() *Netlist {
+	n := New("laden")
+	a := n.AddInputBus("a", 1)
+	b := n.AddInputBus("b", 1)
+	one := n.Const(true)
+	zero := n.Const(false)
+	y0 := n.And(a.Nets[0], one)
+	y1 := n.Xor(a.Nets[0], one)
+	bz := n.And(b.Nets[0], zero)
+	y2 := n.And(n.Or(a.Nets[0], zero), bz)
+	// dead logic
+	d := n.Xor(a.Nets[0], b.Nets[0])
+	n.Xor(d, one)
+	n.MarkOutputBus("y", []NetID{y0, y1, y2})
+	return n
+}
+
+func TestSweepPreservesFunction(t *testing.T) {
+	orig := constLadenCircuit()
+	swept, err := orig.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for in := uint64(0); in < 4; in++ {
+		want := evalNetlist(t, constLadenCircuit(), in, "y")
+		got := evalNetlist(t, swept, in, "y")
+		if got != want {
+			t.Errorf("input %b: swept %b, want %b", in, got, want)
+		}
+	}
+}
+
+func TestSweepRemovesGates(t *testing.T) {
+	orig := constLadenCircuit()
+	swept, err := orig.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swept.NumGates() >= orig.NumGates() {
+		t.Errorf("sweep did not shrink: %d -> %d gates", orig.NumGates(), swept.NumGates())
+	}
+	// y0 = a&1 should fold to zero extra gates (bus references the input
+	// net directly), y1 to one inverter, y2 to const0, dead tree gone:
+	// the swept netlist needs at most 1 gate.
+	if swept.NumGates() > 1 {
+		t.Errorf("swept netlist has %d gates, want <= 1", swept.NumGates())
+	}
+}
+
+func TestSweepPreservesInputLayout(t *testing.T) {
+	swept, err := constLadenCircuit().Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swept.NumInputBits() != 2 {
+		t.Errorf("input bits = %d, want 2", swept.NumInputBits())
+	}
+	ins := swept.Inputs()
+	if ins[0].Name != "a" || ins[1].Name != "b" {
+		t.Errorf("input buses = %v, %v", ins[0].Name, ins[1].Name)
+	}
+}
+
+func TestSweepIdempotentOnCleanCircuits(t *testing.T) {
+	// A circuit with no constants or dead logic must survive unchanged in
+	// size.
+	n := New("clean")
+	a := n.AddInputBus("a", 4)
+	cur := a.Nets[0]
+	for i := 1; i < 4; i++ {
+		cur = n.Xor(cur, a.Nets[i])
+	}
+	n.MarkOutputBus("y", []NetID{cur})
+	swept, err := n.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swept.NumGates() != n.NumGates() {
+		t.Errorf("clean circuit changed: %d -> %d gates", n.NumGates(), swept.NumGates())
+	}
+}
+
+func TestSweepRandomCircuitsPreserveFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 15; trial++ {
+		build := func() *Netlist {
+			r := rand.New(rand.NewSource(int64(trial)))
+			n := New("fuzz")
+			bus := n.AddInputBus("a", 4)
+			pool := append([]NetID(nil), bus.Nets...)
+			pool = append(pool, n.Const(false), n.Const(true))
+			kinds := cells.Kinds()
+			var outs []NetID
+			for g := 0; g < 30; g++ {
+				kind := kinds[r.Intn(len(kinds))]
+				c := cells.Lookup(kind)
+				in := make([]NetID, c.NumInputs)
+				for i := range in {
+					in[i] = pool[r.Intn(len(pool))]
+				}
+				out := n.AddGate(kind, in...)
+				pool = append(pool, out)
+				outs = append(outs, out)
+			}
+			n.MarkOutputBus("y", outs[len(outs)-3:])
+			return n
+		}
+		swept, err := build().Sweep()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for probe := 0; probe < 16; probe++ {
+			in := rng.Uint64() & 0xf
+			want := evalNetlist(t, build(), in, "y")
+			got := evalNetlist(t, swept, in, "y")
+			if got != want {
+				t.Fatalf("trial %d input %x: swept %x, want %x", trial, in, got, want)
+			}
+		}
+	}
+}

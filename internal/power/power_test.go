@@ -1,0 +1,211 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdpower/internal/cells"
+	"hdpower/internal/logic"
+	"hdpower/internal/netlist"
+	"hdpower/internal/sim"
+)
+
+func xorTree(width int) *netlist.Netlist {
+	n := netlist.New("xortree")
+	a := n.AddInputBus("a", width)
+	cur := a.Nets[0]
+	for i := 1; i < width; i++ {
+		cur = n.Xor(cur, a.Nets[i])
+	}
+	n.MarkOutputBus("parity", []netlist.NetID{cur})
+	return n
+}
+
+func TestCycleChargePositiveOnActivity(t *testing.T) {
+	m, err := NewMeter(xorTree(4), sim.EventDriven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Reset(logic.FromUint(0, 4))
+	q := m.Cycle(logic.FromUint(0xf, 4))
+	if q <= 0 {
+		t.Errorf("charge %v for a 4-bit flip", q)
+	}
+	if q2 := m.Cycle(logic.FromUint(0xf, 4)); q2 != 0 {
+		t.Errorf("charge %v for identical vector", q2)
+	}
+}
+
+func bufBank(width int) *netlist.Netlist {
+	n := netlist.New("bufbank")
+	a := n.AddInputBus("a", width)
+	outs := make([]netlist.NetID, width)
+	for i, in := range a.Nets {
+		outs[i] = n.AddGate(cells.Buf, in)
+	}
+	n.MarkOutputBus("y", outs)
+	return n
+}
+
+func TestChargeMonotoneInHammingDistanceForBufBank(t *testing.T) {
+	// With independent per-bit buffers, each additional flipped input bit
+	// adds strictly positive switched capacitance.
+	m, _ := NewMeter(bufBank(8), sim.ZeroDelay)
+	prev := -1.0
+	for k := 1; k <= 8; k++ {
+		m.Reset(logic.FromUint(0, 8))
+		v := logic.FromUint(1<<uint(k)-1, 8)
+		q := m.Cycle(v)
+		if q <= prev {
+			t.Errorf("charge not increasing: Hd=%d gives %v, previous %v", k, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestRunTraceShape(t *testing.T) {
+	m, _ := NewMeter(xorTree(4), sim.EventDriven)
+	rng := rand.New(rand.NewSource(3))
+	var vecs []logic.Word
+	for i := 0; i < 11; i++ {
+		vecs = append(vecs, logic.FromUint(uint64(rng.Intn(16)), 4))
+	}
+	tr, err := m.Run(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("trace len = %d, want 10", tr.Len())
+	}
+	for j := 0; j < tr.Len(); j++ {
+		wantHd := logic.Hd(vecs[j], vecs[j+1])
+		if tr.Hd[j] != wantHd {
+			t.Errorf("cycle %d Hd = %d, want %d", j, tr.Hd[j], wantHd)
+		}
+		if tr.Hd[j] == 0 && tr.Q[j] != 0 {
+			t.Errorf("cycle %d: zero Hd but charge %v", j, tr.Q[j])
+		}
+		wantSZ := logic.StableZeros(vecs[j], vecs[j+1])
+		if tr.StableZeros[j] != wantSZ {
+			t.Errorf("cycle %d stable zeros = %d, want %d", j, tr.StableZeros[j], wantSZ)
+		}
+	}
+	if got := tr.Total(); math.Abs(got-sum(tr.Q)) > 1e-12 {
+		t.Errorf("Total = %v", got)
+	}
+	if got := tr.Mean(); math.Abs(got-sum(tr.Q)/10) > 1e-12 {
+		t.Errorf("Mean = %v", got)
+	}
+	if tr.Max() < tr.Mean() {
+		t.Error("Max < Mean")
+	}
+}
+
+func sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+func TestRunTooShort(t *testing.T) {
+	m, _ := NewMeter(xorTree(4), sim.EventDriven)
+	if _, err := m.Run([]logic.Word{logic.NewWord(4)}); err == nil {
+		t.Fatal("Run with one vector succeeded")
+	}
+}
+
+func TestEmptyTraceStats(t *testing.T) {
+	var tr Trace
+	if tr.Mean() != 0 || tr.Total() != 0 || tr.Max() != 0 || tr.Len() != 0 {
+		t.Error("empty trace stats nonzero")
+	}
+}
+
+func TestAvgAbsCycleError(t *testing.T) {
+	ref := []float64{10, 20, 40}
+	est := []float64{11, 18, 40} // 10%, 10%, 0% -> 6.666%
+	got, err := AvgAbsCycleError(est, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-20.0/3) > 1e-9 {
+		t.Errorf("eps_a = %v, want %v", got, 20.0/3)
+	}
+}
+
+func TestAvgAbsCycleErrorZeroRefCycle(t *testing.T) {
+	ref := []float64{0, 10}
+	est := []float64{5, 10} // zero-ref cycle compared against mean(ref)=5 -> 100%
+	got, err := AvgAbsCycleError(est, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-50) > 1e-9 {
+		t.Errorf("eps_a = %v, want 50", got)
+	}
+}
+
+func TestAvgError(t *testing.T) {
+	ref := []float64{10, 10}
+	est := []float64{11, 11}
+	got, err := AvgError(est, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-9 {
+		t.Errorf("eps = %v, want 10", got)
+	}
+	// signed: underestimation is negative
+	got, _ = AvgError([]float64{9, 9}, ref)
+	if math.Abs(got+10) > 1e-9 {
+		t.Errorf("eps = %v, want -10", got)
+	}
+}
+
+func TestErrorMetricsValidation(t *testing.T) {
+	if _, err := AvgAbsCycleError([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := AvgAbsCycleError(nil, nil); err == nil {
+		t.Error("empty traces accepted")
+	}
+	if _, err := AvgAbsCycleError([]float64{1}, []float64{0}); err == nil {
+		t.Error("all-zero reference accepted")
+	}
+	if _, err := AvgError([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("AvgError length mismatch accepted")
+	}
+	if _, err := AvgError([]float64{1}, []float64{0}); err == nil {
+		t.Error("AvgError zero reference accepted")
+	}
+}
+
+func TestEventDrivenChargeAtLeastZeroDelay(t *testing.T) {
+	// Glitching can only add charge for the same vector pair.
+	mkVecs := func() []logic.Word {
+		rng := rand.New(rand.NewSource(11))
+		var vecs []logic.Word
+		for i := 0; i < 50; i++ {
+			vecs = append(vecs, logic.FromUint(uint64(rng.Intn(256)), 8))
+		}
+		return vecs
+	}
+	zd, _ := NewMeter(xorTree(8), sim.ZeroDelay)
+	ed, _ := NewMeter(xorTree(8), sim.EventDriven)
+	zt, err := zd.Run(mkVecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	et, err := ed.Run(mkVecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range zt.Q {
+		if et.Q[j] < zt.Q[j]-1e-12 {
+			t.Fatalf("cycle %d: event-driven charge %v below zero-delay %v", j, et.Q[j], zt.Q[j])
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hdpower/internal/core"
+	"hdpower/internal/linalg"
+)
+
+// RectPrototype is a characterized multiplier instance with distinct
+// operand widths m1 x m0.
+type RectPrototype struct {
+	W1, W0 int
+	Model  *core.Model
+}
+
+// RectParamModel parameterizes the Hd model over BOTH operand widths of a
+// rectangular multiplier using the eq. (8) basis [m1·m0, m1, 1].
+type RectParamModel struct {
+	Module string
+	// R[i-1] is the regression vector for p_i (nil when unfitted).
+	R [][]float64
+	// Residual[i-1] is the RMS relative fit residual of class i.
+	Residual []float64
+}
+
+// FitRect performs the eq. (8)/(10) regression over rectangular
+// prototypes. Each prototype must have Model.InputBits == W1 + W0.
+func FitRect(module string, protos []RectPrototype) (*RectParamModel, error) {
+	const degree = 3 // terms of eq. (8)
+	if len(protos) < degree {
+		return nil, fmt.Errorf("regress: %d rectangular prototypes cannot determine %d terms",
+			len(protos), degree)
+	}
+	sorted := append([]RectPrototype(nil), protos...)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].W1 != sorted[b].W1 {
+			return sorted[a].W1 < sorted[b].W1
+		}
+		return sorted[a].W0 < sorted[b].W0
+	})
+	maxBits := 0
+	for _, p := range sorted {
+		if p.Model == nil {
+			return nil, fmt.Errorf("regress: prototype %dx%d has nil model", p.W1, p.W0)
+		}
+		if p.Model.InputBits != p.W1+p.W0 {
+			return nil, fmt.Errorf("regress: prototype %dx%d has %d input bits, want %d",
+				p.W1, p.W0, p.Model.InputBits, p.W1+p.W0)
+		}
+		if b := p.W1 + p.W0; b > maxBits {
+			maxBits = b
+		}
+	}
+	pm := &RectParamModel{
+		Module:   module,
+		R:        make([][]float64, maxBits),
+		Residual: make([]float64, maxBits),
+	}
+	for i := 1; i <= maxBits; i++ {
+		var rows [][]float64
+		var rhs []float64
+		var raw [][]float64
+		var rawRhs []float64
+		for _, p := range sorted {
+			if i > p.Model.InputBits || p.Model.Basic[i-1].Count == 0 {
+				continue
+			}
+			terms := TermsRect(p.W1, p.W0)
+			pi := p.Model.Basic[i-1].P
+			raw = append(raw, terms)
+			rawRhs = append(rawRhs, pi)
+			w := 1.0
+			if pi > 0 {
+				w = 1 / pi
+			}
+			scaled := make([]float64, len(terms))
+			for k, tv := range terms {
+				scaled[k] = tv * w
+			}
+			rows = append(rows, scaled)
+			rhs = append(rhs, pi*w)
+		}
+		if len(rows) < degree {
+			continue
+		}
+		x, err := linalg.LeastSquares(linalg.FromRows(rows), rhs)
+		if err != nil {
+			continue
+		}
+		pm.R[i-1] = x
+		fit := linalg.FromRows(raw).MulVec(x)
+		var s float64
+		n := 0
+		for j := range rawRhs {
+			if rawRhs[j] != 0 {
+				d := (fit[j] - rawRhs[j]) / rawRhs[j]
+				s += d * d
+				n++
+			}
+		}
+		if n > 0 {
+			pm.Residual[i-1] = math.Sqrt(s / float64(n))
+		}
+	}
+	return pm, nil
+}
+
+// Coefficient evaluates p_i for operand widths m1 x m0 (eq. 8).
+func (pm *RectParamModel) Coefficient(i, m1, m0 int) (float64, bool) {
+	if i < 1 || i > len(pm.R) || pm.R[i-1] == nil {
+		return 0, false
+	}
+	terms := TermsRect(m1, m0)
+	var s float64
+	for k, r := range pm.R[i-1] {
+		s += r * terms[k]
+	}
+	if s < 0 {
+		s = 0
+	}
+	return s, true
+}
+
+// Synthesize builds the Hd model of an m1 x m0 instance.
+func (pm *RectParamModel) Synthesize(m1, m0 int) *core.Model {
+	m := m1 + m0
+	model := &core.Model{
+		Module:    fmt.Sprintf("%s-%dx%d(regression-rect)", pm.Module, m1, m0),
+		InputBits: m,
+		Basic:     make([]core.Coef, m),
+	}
+	for i := 1; i <= m; i++ {
+		if p, ok := pm.Coefficient(i, m1, m0); ok {
+			model.Basic[i-1] = core.Coef{P: p, Count: 1}
+		}
+	}
+	return model
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hdpower/internal/logic"
+	"hdpower/internal/netlist"
+)
+
+// event is one recorded value change during an event-driven transient.
+type event struct {
+	time int
+	net  netlist.NetID
+	val  bool
+}
+
+// DumpVCD simulates the vector stream on the event-driven engine and
+// writes the resulting waveforms — including glitches — as a Value Change
+// Dump (IEEE 1364 §18) to w. The first vector settles the circuit and
+// defines the state at time 0; each subsequent vector starts a new cycle
+// of cycleTime time units (pass 0 to size cycles automatically from the
+// circuit depth). Useful for inspecting hazard activity with any VCD
+// viewer.
+func DumpVCD(w io.Writer, nl *netlist.Netlist, vectors []logic.Word, cycleTime int) error {
+	if len(vectors) < 1 {
+		return fmt.Errorf("sim: DumpVCD needs at least one vector")
+	}
+	s, err := New(nl, EventDriven)
+	if err != nil {
+		return err
+	}
+	if cycleTime <= 0 {
+		// Longest path is bounded by depth x max cell delay (3); leave
+		// slack so cycles never overlap.
+		cycleTime = 4*nl.Depth() + 8
+	}
+
+	// Header and variable declarations.
+	if _, err := fmt.Fprintf(w, "$timescale 1ns $end\n$scope module %s $end\n", nl.Name); err != nil {
+		return err
+	}
+	ids := make([]string, nl.NumNets())
+	for id := 0; id < nl.NumNets(); id++ {
+		ids[id] = vcdID(id)
+		if _, err := fmt.Fprintf(w, "$var wire 1 %s %s $end\n", ids[id],
+			sanitize(nl.NetName(netlist.NetID(id)))); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprint(w, "$upscope $end\n$enddefinitions $end\n"); err != nil {
+		return err
+	}
+
+	// Initial state at time 0.
+	s.Settle(vectors[0])
+	if _, err := fmt.Fprintln(w, "$dumpvars"); err != nil {
+		return err
+	}
+	for id := 0; id < nl.NumNets(); id++ {
+		if _, err := fmt.Fprintf(w, "%s%s\n", bit(s.NetValue(netlist.NetID(id))), ids[id]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "$end"); err != nil {
+		return err
+	}
+
+	// Cycles.
+	for c, v := range vectors[1:] {
+		base := (c + 1) * cycleTime
+		s.record = s.record[:0]
+		s.recording = true
+		s.Apply(v)
+		s.recording = false
+		evs := append([]event(nil), s.record...)
+		sort.SliceStable(evs, func(a, b int) bool { return evs[a].time < evs[b].time })
+		// Every cycle gets a start marker even if nothing switches.
+		if _, err := fmt.Fprintf(w, "#%d\n", base); err != nil {
+			return err
+		}
+		last := 0
+		for _, e := range evs {
+			if e.time != last {
+				if _, err := fmt.Fprintf(w, "#%d\n", base+e.time); err != nil {
+					return err
+				}
+				last = e.time
+			}
+			if _, err := fmt.Fprintf(w, "%s%s\n", bit(e.val), ids[e.net]); err != nil {
+				return err
+			}
+		}
+	}
+	_, err = fmt.Fprintf(w, "#%d\n", len(vectors)*cycleTime)
+	return err
+}
+
+func bit(v bool) string {
+	if v {
+		return "1"
+	}
+	return "0"
+}
+
+// vcdID maps a net index to a compact printable identifier (base-94 over
+// the VCD identifier alphabet '!'..'~').
+func vcdID(id int) string {
+	const lo, hi = 33, 126
+	n := hi - lo + 1
+	out := []byte{}
+	for {
+		out = append(out, byte(lo+id%n))
+		id /= n
+		if id == 0 {
+			break
+		}
+	}
+	return string(out)
+}
+
+// sanitize makes a net name VCD-safe (no whitespace).
+func sanitize(name string) string {
+	b := []byte(name)
+	for i, c := range b {
+		if c == ' ' || c == '\t' {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"hdpower/internal/logic"
+	"hdpower/internal/netlist"
+)
+
+func TestDumpVCDStructure(t *testing.T) {
+	nl := fullAdderNetlist()
+	var sb strings.Builder
+	vectors := []logic.Word{
+		logic.FromUint(0, 3),
+		logic.FromUint(7, 3),
+		logic.FromUint(5, 3),
+	}
+	if err := DumpVCD(&sb, nl, vectors, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale", "$scope module fa", "$var wire 1", "$enddefinitions",
+		"$dumpvars", "#", "a[0]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q", want)
+		}
+	}
+	// Exactly one $var per net.
+	if got := strings.Count(out, "$var wire 1"); got != nl.NumNets() {
+		t.Errorf("vars = %d, want %d", got, nl.NumNets())
+	}
+	// Initial dump covers every net.
+	dumpvars := out[strings.Index(out, "$dumpvars"):]
+	dumpvars = dumpvars[:strings.Index(dumpvars, "$end")]
+	if lines := strings.Count(dumpvars, "\n"); lines < nl.NumNets() {
+		t.Errorf("initial dump has %d lines, want >= %d", lines, nl.NumNets())
+	}
+}
+
+func TestDumpVCDRecordsTransitions(t *testing.T) {
+	// Flipping all inputs of a full adder must produce value changes in
+	// cycle 1 but none in the identical cycle 2.
+	nl := fullAdderNetlist()
+	var sb strings.Builder
+	vectors := []logic.Word{
+		logic.FromUint(0, 3),
+		logic.FromUint(7, 3),
+		logic.FromUint(7, 3),
+	}
+	if err := DumpVCD(&sb, nl, vectors, 100); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "#100") {
+		t.Error("cycle 1 timestamp missing")
+	}
+	// No value changes between #200 and the final timestamp.
+	i200 := strings.Index(out, "#200")
+	if i200 == -1 {
+		t.Fatal("no #200 marker")
+	}
+	tail := out[i200:]
+	idx := strings.Index(tail[1:], "#")
+	if idx == -1 {
+		t.Fatal("no final timestamp")
+	}
+	between := tail[4 : idx+1]
+	if strings.ContainsAny(between, "01") {
+		t.Errorf("value changes in idle cycle: %q", between)
+	}
+}
+
+func TestDumpVCDEmptyVectors(t *testing.T) {
+	if err := DumpVCD(&strings.Builder{}, fullAdderNetlist(), nil, 0); err == nil {
+		t.Fatal("empty vector stream accepted")
+	}
+}
+
+func TestVcdIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 10000; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate VCD id %q at %d", id, i)
+		}
+		seen[id] = true
+		for _, c := range id {
+			if c < 33 || c > 126 {
+				t.Fatalf("invalid VCD id char %q", c)
+			}
+		}
+	}
+}
+
+func TestRecordingDoesNotPerturbSimulation(t *testing.T) {
+	nl1 := fullAdderNetlist()
+	nl2 := fullAdderNetlist()
+	plain, _ := New(nl1, EventDriven)
+	var sb strings.Builder
+	vectors := []logic.Word{logic.FromUint(1, 3), logic.FromUint(6, 3)}
+	if err := DumpVCD(&sb, nl2, vectors, 0); err != nil {
+		t.Fatal(err)
+	}
+	plain.Settle(vectors[0])
+	plain.Apply(vectors[1])
+	// steady state must match what a non-recording simulator reaches
+	rec, _ := New(fullAdderNetlist(), EventDriven)
+	rec.Settle(vectors[0])
+	rec.recording = true
+	rec.Apply(vectors[1])
+	for id := 0; id < nl1.NumNets(); id++ {
+		if plain.NetValue(netlist.NetID(id)) != rec.NetValue(netlist.NetID(id)) {
+			t.Fatalf("net %d differs with recording enabled", id)
+		}
+	}
+	_ = sb
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// boundWS maps arbitrary quick-generated floats into a plausible
+// word-statistics range.
+func boundWS(mean, std, rho float64) WordStats {
+	return WordStats{
+		Mean: math.Mod(mean, 1e4),
+		Std:  math.Abs(math.Mod(std, 3e4)),
+		Rho:  math.Mod(rho, 0.999),
+	}
+}
+
+// Property: the three regions always partition the word, for any
+// statistics and any width.
+func TestRegionsPartitionProperty(t *testing.T) {
+	f := func(mean, std, rho float64, w8 uint8) bool {
+		m := 1 + int(w8%63)
+		r := Regions(boundWS(mean, std, rho), m)
+		return r.NRand >= 0 && r.NCorr >= 0 && r.NSign >= 0 &&
+			r.NRand+r.NCorr+r.NSign == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: breakpoints are always ordered and in range.
+func TestBreakpointsRangeProperty(t *testing.T) {
+	f := func(mean, std, rho float64, w8 uint8) bool {
+		m := 1 + int(w8%63)
+		bp := ComputeBreakpoints(boundWS(mean, std, rho), m)
+		return bp.BP0 >= 0 && bp.BP1 >= bp.BP0 && bp.BP1 <= m-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sign activity is a probability and decreases with |mean|.
+func TestSignActivityProperty(t *testing.T) {
+	f := func(mean, std, rho float64) bool {
+		ws := boundWS(mean, std, rho)
+		t1 := SignActivity(ws)
+		if t1 < 0 || t1 > 1 || math.IsNaN(t1) {
+			return false
+		}
+		far := ws
+		far.Mean = ws.Mean * 10
+		if math.Abs(far.Mean) > math.Abs(ws.Mean) {
+			return SignActivity(far) <= t1+1e-12
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AvgHd is bounded by the word width and non-negative.
+func TestAvgHdBoundedProperty(t *testing.T) {
+	f := func(mean, std, rho float64, w8 uint8) bool {
+		m := 1 + int(w8%63)
+		avg := Regions(boundWS(mean, std, rho), m).AvgHd()
+		return avg >= 0 && avg <= float64(m)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

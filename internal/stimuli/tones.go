@@ -1,0 +1,88 @@
+package stimuli
+
+import (
+	"math"
+	"math/rand"
+
+	"hdpower/internal/logic"
+)
+
+// Sine returns a quantized sinusoid with additive Gaussian noise — a
+// deterministic "tonal music" stimulus complementing the AR(1) classes.
+// amp and noiseStd are in LSBs of the signed range; freq is in cycles per
+// sample (0 < freq < 0.5 to stay below Nyquist).
+func Sine(width int, amp, freq, noiseStd float64, seed int64) Source {
+	mustWidth(width)
+	if freq <= 0 || freq >= 0.5 {
+		panic("stimuli: Sine frequency outside (0, 0.5)")
+	}
+	return &sineSource{
+		width: width, amp: amp, freq: freq, noise: noiseStd,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+type sineSource struct {
+	width int
+	amp   float64
+	freq  float64
+	noise float64
+	phase float64
+	rng   *rand.Rand
+}
+
+func (s *sineSource) Width() int { return s.width }
+
+func (s *sineSource) Next() logic.Word {
+	v := s.amp * math.Sin(2*math.Pi*s.phase)
+	if s.noise > 0 {
+		v += s.rng.NormFloat64() * s.noise
+	}
+	s.phase += s.freq
+	if s.phase >= 1 {
+		s.phase -= 1
+	}
+	return quantize(v, s.width)
+}
+
+// Chirp returns a quantized linear frequency sweep from f0 to f1 over
+// period samples, then repeating — a stimulus whose short-term
+// correlation drifts, useful for stressing word-level statistics
+// assumptions.
+func Chirp(width int, amp, f0, f1 float64, period int, seed int64) Source {
+	mustWidth(width)
+	if period <= 0 {
+		panic("stimuli: Chirp period must be positive")
+	}
+	if f0 <= 0 || f1 <= 0 || f0 >= 0.5 || f1 >= 0.5 {
+		panic("stimuli: Chirp frequencies outside (0, 0.5)")
+	}
+	return &chirpSource{
+		width: width, amp: amp, f0: f0, f1: f1, period: period,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+type chirpSource struct {
+	width  int
+	amp    float64
+	f0, f1 float64
+	period int
+	n      int
+	phase  float64
+	rng    *rand.Rand
+}
+
+func (s *chirpSource) Width() int { return s.width }
+
+func (s *chirpSource) Next() logic.Word {
+	frac := float64(s.n%s.period) / float64(s.period)
+	freq := s.f0 + (s.f1-s.f0)*frac
+	v := s.amp * math.Sin(2*math.Pi*s.phase)
+	s.phase += freq
+	if s.phase >= 1 {
+		s.phase -= 1
+	}
+	s.n++
+	return quantize(v, s.width)
+}

@@ -1,0 +1,90 @@
+package verilog
+
+import (
+	"fmt"
+	"io"
+
+	"hdpower/internal/logic"
+	"hdpower/internal/netlist"
+)
+
+// WriteTestbench emits a self-checking-free stimulus testbench for the
+// netlist: it instantiates the module (as written by Write), drives the
+// input buses with the given vectors at fixed intervals, dumps a VCD, and
+// finishes. Useful for replaying the exact streams of an experiment in an
+// external Verilog simulator and comparing waveforms against the built-in
+// engine's DumpVCD.
+func WriteTestbench(w io.Writer, nl *netlist.Netlist, vectors []logic.Word, cycleTime int) error {
+	if err := nl.Finalize(); err != nil {
+		return err
+	}
+	if len(vectors) == 0 {
+		return fmt.Errorf("verilog: testbench needs at least one vector")
+	}
+	m := nl.NumInputBits()
+	for i, v := range vectors {
+		if v.Width() != m {
+			return fmt.Errorf("verilog: vector %d has width %d, module has %d input bits",
+				i, v.Width(), m)
+		}
+	}
+	if cycleTime <= 0 {
+		cycleTime = 4*nl.Depth() + 8
+	}
+	name := ident(nl.Name)
+	if _, err := fmt.Fprintf(w, "module %s_tb;\n", name); err != nil {
+		return err
+	}
+	for _, b := range nl.Inputs() {
+		if _, err := fmt.Fprintf(w, "  reg [%d:0] %s;\n", b.Width()-1, b.Name); err != nil {
+			return err
+		}
+	}
+	for _, b := range nl.Outputs() {
+		if _, err := fmt.Fprintf(w, "  wire [%d:0] %s;\n", b.Width()-1, b.Name); err != nil {
+			return err
+		}
+	}
+	// Instantiation with named connections.
+	if _, err := fmt.Fprintf(w, "  %s dut (", name); err != nil {
+		return err
+	}
+	first := true
+	for _, buses := range [][]netlist.Bus{nl.Inputs(), nl.Outputs()} {
+		for _, b := range buses {
+			if !first {
+				if _, err := fmt.Fprint(w, ", "); err != nil {
+					return err
+				}
+			}
+			first = false
+			if _, err := fmt.Fprintf(w, ".%s(%s)", b.Name, b.Name); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := fmt.Fprintln(w, ");"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  initial begin\n    $dumpfile(\"%s_tb.vcd\");\n    $dumpvars(0, %s_tb);\n", name, name); err != nil {
+		return err
+	}
+	// Drive the vectors.
+	for i, v := range vectors {
+		if i > 0 {
+			if _, err := fmt.Fprintf(w, "    #%d;\n", cycleTime); err != nil {
+				return err
+			}
+		}
+		offset := 0
+		for _, b := range nl.Inputs() {
+			bits := v.Slice(offset, offset+b.Width())
+			if _, err := fmt.Fprintf(w, "    %s = %d'b%s;\n", b.Name, b.Width(), bits); err != nil {
+				return err
+			}
+			offset += b.Width()
+		}
+	}
+	_, err := fmt.Fprintf(w, "    #%d;\n    $finish;\n  end\nendmodule\n", cycleTime)
+	return err
+}

@@ -1,0 +1,65 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"hdpower/internal/dwlib"
+	"hdpower/internal/logic"
+)
+
+func TestWriteTestbench(t *testing.T) {
+	nl := dwlib.RippleAdder(4)
+	vectors := []logic.Word{
+		logic.FromUint(0x00, 8),
+		logic.FromUint(0x35, 8), // a = 0101, b = 0011
+		logic.FromUint(0xff, 8),
+	}
+	var sb strings.Builder
+	if err := WriteTestbench(&sb, nl, vectors, 50); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"module ripple_adder_4_tb;",
+		"reg [3:0] a;",
+		"reg [3:0] b;",
+		"wire [3:0] sum;",
+		".a(a)", ".sum(sum)",
+		"$dumpfile", "$dumpvars",
+		"a = 4'b0101;", // vector 0x35, low nibble
+		"b = 4'b0011;",
+		"#50;",
+		"$finish;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("testbench missing %q:\n%s", want, out)
+		}
+	}
+	// Two cycle advances plus the final one.
+	if got := strings.Count(out, "#50;"); got != 3 {
+		t.Errorf("cycle delays = %d, want 3", got)
+	}
+}
+
+func TestWriteTestbenchValidation(t *testing.T) {
+	nl := dwlib.RippleAdder(4)
+	var sb strings.Builder
+	if err := WriteTestbench(&sb, nl, nil, 0); err == nil {
+		t.Error("empty vector list accepted")
+	}
+	if err := WriteTestbench(&sb, nl, []logic.Word{logic.NewWord(5)}, 0); err == nil {
+		t.Error("width mismatch accepted")
+	}
+}
+
+func TestWriteTestbenchAutoCycleTime(t *testing.T) {
+	nl := dwlib.RippleAdder(2)
+	var sb strings.Builder
+	if err := WriteTestbench(&sb, nl, []logic.Word{logic.NewWord(4)}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "#") {
+		t.Error("no delay emitted")
+	}
+}
