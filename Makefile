@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: test race bench bench-char repro
+
+# Tier-1 gate: everything builds, everything passes.
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# Race-detector pass over the concurrent packages (characterization
+# engine, simulator clones, experiment suite).
+race:
+	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/power/... ./internal/experiments/...
+
+# Full benchmark sweep.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Characterization throughput across worker counts, published as JSON for
+# trajectory tracking.
+bench-char:
+	$(GO) test -run '^$$' -bench BenchmarkCharacterizeParallel -benchtime 2x . | $(GO) run ./cmd/benchjson > BENCH_characterize.json
+	@cat BENCH_characterize.json
+
+# Regenerate the paper's tables and figures at full scale.
+repro:
+	$(GO) run ./cmd/repro -exp all | tee repro_full.txt

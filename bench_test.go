@@ -1,6 +1,7 @@
 package hdpower
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"testing"
@@ -275,6 +276,32 @@ func BenchmarkCharacterize(b *testing.B) {
 		if _, err := Characterize(nl, "bench", CharacterizeOptions{Patterns: 1000, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCharacterizeParallel measures sharded-characterization
+// throughput across worker counts on the 16x16 CSA multiplier. The fitted
+// model is bit-identical for every worker count (see core.Characterize);
+// only the patterns/sec metric moves. CI stores this as
+// BENCH_characterize.json via `make bench-char`.
+func BenchmarkCharacterizeParallel(b *testing.B) {
+	const patterns = 2000
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			nl, err := Build("csa-multiplier", 16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Characterize(nl, "bench", CharacterizeOptions{
+					Patterns: patterns, Seed: 1, Workers: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(patterns)*float64(b.N)/b.Elapsed().Seconds(), "patterns/sec")
+		})
 	}
 }
 

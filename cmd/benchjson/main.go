@@ -1,0 +1,69 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON array on stdout, one record per benchmark result line with every
+// reported metric keyed by its unit. CI pipes the characterization
+// benchmark through it to publish BENCH_characterize.json:
+//
+//	go test -run '^$' -bench BenchmarkCharacterizeParallel . | benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type record struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	recs := []record{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if rec, ok := parseLine(sc.Text()); ok {
+			recs = append(recs, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine handles the testing package's benchmark result format:
+//
+//	BenchmarkName/sub-8   5   123 ns/op   456 patterns/sec   ...
+func parseLine(line string) (record, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return record{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return record{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return record{}, false
+	}
+	rec := record{Name: fields[0], Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return record{}, false
+		}
+		rec.Metrics[fields[i+1]] = v
+	}
+	return rec, true
+}

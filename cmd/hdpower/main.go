@@ -149,6 +149,7 @@ func cmdCharacterize(args []string) error {
 	enhanced := fs.Bool("enhanced", false, "also fit the enhanced (stable-zero) classes")
 	zclusters := fs.Int("zclusters", 0, "cluster the stable-zero axis into N buckets (0 = full)")
 	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "simulation worker goroutines (0 = all CPUs); results are identical for any value")
 	out := fs.String("o", "", "output file (default stdout)")
 	libDir := fs.String("library", "", "also store the model in this library directory")
 	if err := fs.Parse(args); err != nil {
@@ -161,6 +162,7 @@ func cmdCharacterize(args []string) error {
 	model, err := hdpower.Characterize(nl, fmt.Sprintf("%s-%d", *module, *width),
 		hdpower.CharacterizeOptions{
 			Patterns: *patterns, Enhanced: *enhanced, ZClusters: *zclusters, Seed: *seed,
+			Workers: *workers,
 		})
 	if err != nil {
 		return err
@@ -380,6 +382,7 @@ func cmdFit(args []string) error {
 	set := fs.String("set", "ALL", "prototype set: ALL, SEC, THI")
 	patterns := fs.Int("patterns", 5000, "characterization pairs per prototype")
 	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "simulation worker goroutines (0 = all CPUs); results are identical for any value")
 	out := fs.String("o", "", "output file (default stdout)")
 	libDir := fs.String("library", "", "also store the regression in this library directory")
 	if err := fs.Parse(args); err != nil {
@@ -400,7 +403,7 @@ func cmdFit(args []string) error {
 			return err
 		}
 		model, err := hdpower.Characterize(nl, fmt.Sprintf("%s-%d", *module, w),
-			hdpower.CharacterizeOptions{Patterns: *patterns, Seed: *seed + int64(w)})
+			hdpower.CharacterizeOptions{Patterns: *patterns, Seed: *seed + int64(w), Workers: *workers})
 		if err != nil {
 			return err
 		}

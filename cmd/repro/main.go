@@ -3,7 +3,7 @@
 // Usage:
 //
 //	repro [-exp all|fig1|fig2|table1|table2|fig4|table3|fig6|fig9]
-//	      [-quick] [-char N] [-eval N] [-widths 8,12,16] [-seed N]
+//	      [-quick] [-char N] [-eval N] [-widths 8,12,16] [-seed N] [-workers N]
 //
 // With -quick the reduced test-scale configuration is used; the default
 // configuration matches the paper's stream lengths (5000-pattern streams,
@@ -25,11 +25,12 @@ func main() {
 	var (
 		exp = flag.String("exp", "all", "experiment: all, fig1, fig2, table1, table2, "+
 			"fig4, table3, fig6, fig9, estimators, engine, zclusters, adapt")
-		quick  = flag.Bool("quick", false, "use the reduced test-scale configuration")
-		charN  = flag.Int("char", 0, "override characterization pattern count")
-		evalN  = flag.Int("eval", 0, "override evaluation stream length")
-		widths = flag.String("widths", "", "override Table 1 operand widths, e.g. 8,12,16")
-		seed   = flag.Int64("seed", 0, "override random seed")
+		quick   = flag.Bool("quick", false, "use the reduced test-scale configuration")
+		charN   = flag.Int("char", 0, "override characterization pattern count")
+		evalN   = flag.Int("eval", 0, "override evaluation stream length")
+		widths  = flag.String("widths", "", "override Table 1 operand widths, e.g. 8,12,16")
+		seed    = flag.Int64("seed", 0, "override random seed")
+		workers = flag.Int("workers", 0, "worker goroutines for characterization (0 = all CPUs); results are identical for any value")
 	)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Workers = *workers
 	if *widths != "" {
 		var ws []int
 		for _, part := range strings.Split(*widths, ",") {

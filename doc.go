@@ -23,6 +23,18 @@
 //   - experiment drivers that regenerate every table and figure of the
 //     paper's evaluation (see internal/experiments and cmd/repro).
 //
+// # Concurrency
+//
+// Characterization is parallel by default: the pattern stream is split
+// into fixed-size shards, each shard draws from a PairSource seeded by
+// (seed, stream, shard index), and a pool of simulator clones — sharing
+// the immutable netlist, one mutable state each — runs the shards
+// concurrently. Partial results merge in shard-index order, so the fitted
+// model is bit-identical for every worker count, including 1; the
+// CharacterizeOptions.Workers field (and the -workers flag of the CLIs)
+// only trades goroutines for wall-clock time. See internal/core and the
+// Clone contract in internal/sim for details.
+//
 // # Quick start
 //
 //	nl, _ := hdpower.Build("ripple-adder", 8)     // 8-bit operands

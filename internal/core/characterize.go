@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 
 	"hdpower/internal/logic"
 	"hdpower/internal/power"
@@ -29,8 +30,16 @@ type CharacterizeOptions struct {
 	// values have converged".
 	ConvergeTol float64
 	// CheckEvery is the convergence check interval in patterns
-	// (default 500).
+	// (default 500). Checks run on merged shard boundaries, at the first
+	// boundary at or past each multiple of CheckEvery.
 	CheckEvery int
+	// Workers is the number of concurrent characterization workers
+	// sharing the pattern budget; 0 defaults to runtime.NumCPU(), 1
+	// forces the fully sequential path. The pattern stream is sharded
+	// deterministically by (Seed, shard index) and per-shard partial
+	// accumulators are merged in shard order, so the fitted model is
+	// bit-identical for every worker count.
+	Workers int
 }
 
 func (o *CharacterizeOptions) setDefaults() {
@@ -40,6 +49,14 @@ func (o *CharacterizeOptions) setDefaults() {
 	if o.CheckEvery <= 0 {
 		o.CheckEvery = 500
 	}
+}
+
+// workerCount resolves the Workers option against the host.
+func (o *CharacterizeOptions) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
 }
 
 // PairSource generates characterization vector pairs (u, v) stratified
@@ -110,36 +127,185 @@ func (ps *PairSource) Next() (u, v logic.Word) {
 	return u, v
 }
 
-// classAcc accumulates the charge samples of one switching-event class.
+// epsilonReservoir bounds the per-class deviation sample kept by classAcc.
+// Classes keep their first epsilonReservoir charge samples in merged
+// stream order: within a class the stream is i.i.d., so the prefix is an
+// unbiased deviation sample, and — unlike a randomized reservoir — it
+// stays byte-identical under ordered shard merging for any worker count.
+const epsilonReservoir = 512
+
+// classAcc accumulates the charge samples of one switching-event class as
+// a streaming (count, sum) pair plus the bounded deviation reservoir, so
+// memory per class is O(1) no matter how long the run is.
 type classAcc struct {
-	samples []float64
-	sum     float64
+	count int64
+	sum   float64
+	dev   []float64 // first epsilonReservoir samples, for ε_i
 }
 
 func (a *classAcc) add(q float64) {
-	a.samples = append(a.samples, q)
+	a.count++
 	a.sum += q
+	if len(a.dev) < epsilonReservoir {
+		a.dev = append(a.dev, q)
+	}
+}
+
+// merge folds a later shard's partial accumulator into a. Partials must be
+// merged in shard-index order to keep sums and reservoirs deterministic.
+func (a *classAcc) merge(b *classAcc) {
+	a.count += b.count
+	a.sum += b.sum
+	if room := epsilonReservoir - len(a.dev); room > 0 {
+		if room > len(b.dev) {
+			room = len(b.dev)
+		}
+		a.dev = append(a.dev, b.dev[:room]...)
+	}
 }
 
 func (a *classAcc) coef() Coef {
-	n := len(a.samples)
-	if n == 0 {
+	if a.count == 0 {
 		return Coef{}
 	}
-	p := a.sum / float64(n)
+	p := a.sum / float64(a.count)
 	var dev float64
 	if p > 0 {
-		for _, q := range a.samples {
+		for _, q := range a.dev {
 			dev += math.Abs((q - p) / p)
 		}
-		dev /= float64(n)
+		dev /= float64(len(a.dev))
 	}
-	return Coef{P: p, Epsilon: dev, Count: n}
+	return Coef{P: p, Epsilon: dev, Count: int(a.count)}
+}
+
+// convTracker runs the convergence check of Section 4.1 on merged shard
+// checkpoints: the first merged shard boundary at or past each multiple of
+// CheckEvery patterns.
+type convTracker struct {
+	tol        float64
+	checkEvery int
+	nextCheck  int
+	prev       []float64 // per-class mean at the previous checkpoint
+	prevCount  []int64   // per-class sample count at the previous checkpoint
+}
+
+func newConvTracker(m int, tol float64, checkEvery int) *convTracker {
+	return &convTracker{
+		tol:        tol,
+		checkEvery: checkEvery,
+		nextCheck:  checkEvery,
+		prev:       make([]float64, m),
+		prevCount:  make([]int64, m),
+	}
+}
+
+// stop reports whether the run has converged at the current merged state
+// of `patterns` characterization pairs.
+func (c *convTracker) stop(basic []classAcc, patterns int) bool {
+	if c.tol <= 0 || patterns < c.nextCheck {
+		return false
+	}
+	c.nextCheck = patterns - patterns%c.checkEvery + c.checkEvery
+	worst := convergenceWorst(basic, c.prev, c.prevCount)
+	return worst < c.tol && patterns >= 2*c.checkEvery
+}
+
+// convergenceWorst returns the largest relative change of any populated
+// basic coefficient against the previous checkpoint, updating prev and
+// prevCount in place. A class whose running mean is zero contributes
+// nothing as long as no samples contradict it: a legitimately zero-mean
+// class (or one with zero samples-delta since the last checkpoint) counts
+// as converged instead of pinning the worst change at +Inf forever. Only
+// a class that first turns nonzero — new samples with no usable baseline —
+// reports +Inf, deferring convergence to the next checkpoint.
+func convergenceWorst(basic []classAcc, prev []float64, prevCount []int64) float64 {
+	worst := 0.0
+	for k := range basic {
+		n := basic[k].count
+		if n == 0 {
+			continue
+		}
+		cur := basic[k].sum / float64(n)
+		switch {
+		case prev[k] > 0:
+			if change := math.Abs(cur-prev[k]) / prev[k]; change > worst {
+				worst = change
+			}
+		case cur > 0 && n > prevCount[k]:
+			worst = math.Inf(1)
+		}
+		prev[k] = cur
+		prevCount[k] = n
+	}
+	return worst
+}
+
+// charPartial holds one shard's partial accumulators.
+type charPartial struct {
+	patterns int
+	basic    []classAcc   // nil for biased-phase shards
+	enhanced [][]classAcc // nil unless the enhanced table is being fitted
+}
+
+// Stream discriminators for shardSeed.
+const (
+	streamBasic  = 0 // phase 1: unbiased stratified pairs
+	streamBiased = 1 // phase 2: density-stratified pairs (enhanced table)
+	streamPortA  = 2 // CharacterizePorts, port A
+	streamPortB  = 3 // CharacterizePorts, port B
+)
+
+// runCharShard simulates one shard of the characterization stream on the
+// worker's own meter and returns its partial accumulators. The model is
+// only read (immutable bucket geometry), so shards may run concurrently.
+func runCharShard(meter *power.Meter, model *Model, sh shard, seed int64, biased, enhanced bool) *charPartial {
+	m := model.InputBits
+	part := &charPartial{patterns: sh.patterns}
+	var ps *PairSource
+	if biased {
+		ps = newPairSource(m, shardSeed(seed, streamBiased, sh.index), true)
+	} else {
+		ps = newPairSource(m, shardSeed(seed, streamBasic, sh.index), false)
+		part.basic = make([]classAcc, m)
+	}
+	if enhanced {
+		part.enhanced = make([][]classAcc, m)
+		for i := 1; i <= m; i++ {
+			part.enhanced[i-1] = make([]classAcc, model.NumZBuckets(i))
+		}
+	}
+	for j := 0; j < sh.patterns; j++ {
+		u, v := ps.Next()
+		meter.Reset(u)
+		q := meter.Cycle(v)
+		i := logic.Hd(u, v)
+		if part.basic != nil {
+			part.basic[i-1].add(q)
+		}
+		if part.enhanced != nil {
+			z := logic.StableZeros(u, v)
+			part.enhanced[i-1][model.ZBucket(i, z)].add(q)
+		}
+	}
+	return part
+}
+
+// mergeEnhanced folds a shard's enhanced partials into the totals.
+func mergeEnhanced(total, part [][]classAcc) {
+	for i := range part {
+		for zb := range part[i] {
+			total[i][zb].merge(&part[i][zb])
+		}
+	}
 }
 
 // Characterize runs the characterization process of Section 4.1 against
 // the reference charge meter and returns the fitted model. The meter's
-// module must have at least one input bit.
+// module must have at least one input bit. With Workers > 1 (or the
+// runtime.NumCPU default on multi-core hosts) the pattern stream is
+// characterized by a worker pool over clones of the meter; see
+// CharacterizeOptions.Workers for the determinism contract.
 func Characterize(meter *power.Meter, moduleName string, opt CharacterizeOptions) (*Model, error) {
 	opt.setDefaults()
 	m := meter.NumInputBits()
@@ -162,59 +328,49 @@ func Characterize(meter *power.Meter, moduleName string, opt CharacterizeOptions
 		}
 	}
 
-	ps := NewPairSource(m, opt.Seed)
-	prev := make([]float64, m) // last checkpoint's coefficients
-	patternsUsed := 0
-	for j := 0; j < opt.Patterns; j++ {
-		u, v := ps.Next()
-		meter.Reset(u)
-		q := meter.Cycle(v)
-		i := logic.Hd(u, v)
-		basic[i-1].add(q)
-		patternsUsed++
-		if opt.Enhanced {
-			z := logic.StableZeros(u, v)
-			enhanced[i-1][model.ZBucket(i, z)].add(q)
-		}
-
-		if opt.ConvergeTol > 0 && (j+1)%opt.CheckEvery == 0 {
-			worst := 0.0
-			for k := range basic {
-				if len(basic[k].samples) == 0 {
-					continue
-				}
-				cur := basic[k].sum / float64(len(basic[k].samples))
-				if prev[k] > 0 {
-					change := math.Abs(cur-prev[k]) / prev[k]
-					if change > worst {
-						worst = change
-					}
-				} else if cur > 0 {
-					worst = math.Inf(1)
-				}
-				prev[k] = cur
-			}
-			if worst < opt.ConvergeTol && j+1 >= 2*opt.CheckEvery {
-				break
-			}
-		}
+	plan := shardPlan(opt.Patterns)
+	workers := opt.workerCount()
+	if workers > len(plan) {
+		workers = len(plan)
 	}
+	meters := meterPool(meter, workers)
 
-	// Second phase for the enhanced table: density-stratified pairs
-	// populate the extreme stable-zero classes that uniform vectors
-	// almost never produce (all-stable-bits-zero / -one, paper Fig. 2).
-	// These samples feed only the enhanced accumulators, keeping the
-	// basic coefficients unbiased for uniform streams.
+	// Phase 1: unbiased stratified pairs fill the basic classes (and, when
+	// fitting the enhanced table, its unbiased share of the E_{i,z}
+	// classes). The convergence check runs on the merged prefix only, so
+	// the early-stop point is worker-count-independent.
+	conv := newConvTracker(m, opt.ConvergeTol, opt.CheckEvery)
+	patternsUsed := 0
+	usedShards := runShardsOrdered(len(plan), workers,
+		func(w, idx int) *charPartial {
+			return runCharShard(meters[w], model, plan[idx], opt.Seed, false, opt.Enhanced)
+		},
+		func(idx int, part *charPartial) bool {
+			for k := range basic {
+				basic[k].merge(&part.basic[k])
+			}
+			if opt.Enhanced {
+				mergeEnhanced(enhanced, part.enhanced)
+			}
+			patternsUsed += part.patterns
+			return !conv.stop(basic, patternsUsed)
+		})
+
+	// Phase 2 for the enhanced table: density-stratified pairs populate
+	// the extreme stable-zero classes that uniform vectors almost never
+	// produce (all-stable-bits-zero / -one, paper Fig. 2). These samples
+	// feed only the enhanced accumulators, keeping the basic coefficients
+	// unbiased for uniform streams. The biased budget mirrors the shards
+	// phase 1 actually consumed.
 	if opt.Enhanced {
-		biased := NewBiasedPairSource(m, opt.Seed+1)
-		for j := 0; j < patternsUsed; j++ {
-			u, v := biased.Next()
-			meter.Reset(u)
-			q := meter.Cycle(v)
-			i := logic.Hd(u, v)
-			z := logic.StableZeros(u, v)
-			enhanced[i-1][model.ZBucket(i, z)].add(q)
-		}
+		runShardsOrdered(usedShards, workers,
+			func(w, idx int) *charPartial {
+				return runCharShard(meters[w], model, plan[idx], opt.Seed, true, true)
+			},
+			func(idx int, part *charPartial) bool {
+				mergeEnhanced(enhanced, part.enhanced)
+				return true
+			})
 	}
 
 	for k := range basic {

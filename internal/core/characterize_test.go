@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"math"
+	"reflect"
 	"testing"
 
 	"hdpower/internal/dwlib"
@@ -213,5 +215,95 @@ func TestEnhancedBeatsBasicOnCounterStream(t *testing.T) {
 	if math.Abs(enhErr) >= math.Abs(basicErr) {
 		t.Errorf("enhanced |%.1f%%| not better than basic |%.1f%%| on counter stream",
 			enhErr, basicErr)
+	}
+}
+
+// modelsIdentical asserts bit-identical basic and enhanced tables.
+func modelsIdentical(t *testing.T, ref, got *Model, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(ref.Basic, got.Basic) {
+		t.Fatalf("%s: basic coefficients differ", label)
+	}
+	if !reflect.DeepEqual(ref.Enhanced, got.Enhanced) {
+		t.Fatalf("%s: enhanced coefficients differ", label)
+	}
+}
+
+// TestCharacterizeWorkerCountIndependent is the engine's determinism
+// contract: for a fixed seed, Workers ∈ {1, 2, 7} must produce
+// bit-identical Basic and Enhanced coefficient tables.
+func TestCharacterizeWorkerCountIndependent(t *testing.T) {
+	for _, enhanced := range []bool{false, true} {
+		opt := CharacterizeOptions{Patterns: 1200, Seed: 9, Enhanced: enhanced, Workers: 1}
+		ref, err := Characterize(meterFor(t, "csa-multiplier", 4), "csa", opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 7} {
+			opt.Workers = workers
+			got, err := Characterize(meterFor(t, "csa-multiplier", 4), "csa", opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			modelsIdentical(t, ref, got,
+				fmt.Sprintf("enhanced=%v workers=%d", enhanced, workers))
+		}
+	}
+}
+
+// TestCharacterizeConvergenceWorkerCountIndependent checks that the
+// early-stop decision itself is worker-count-independent: the convergence
+// check runs on merged shard prefixes, so every worker count must stop
+// after the same number of patterns and produce the same model.
+func TestCharacterizeConvergenceWorkerCountIndependent(t *testing.T) {
+	opt := CharacterizeOptions{
+		Patterns: 50000, ConvergeTol: 0.05, CheckEvery: 200, Seed: 17, Workers: 1,
+	}
+	ref, err := Characterize(meterFor(t, "ripple-adder", 4), "add", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPatterns := 0
+	for _, c := range ref.Basic {
+		refPatterns += c.Count
+	}
+	if refPatterns >= 50000 {
+		t.Fatalf("reference run did not stop early (%d patterns)", refPatterns)
+	}
+	for _, workers := range []int{2, 7} {
+		opt.Workers = workers
+		got, err := Characterize(meterFor(t, "ripple-adder", 4), "add", opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotPatterns := 0
+		for _, c := range got.Basic {
+			gotPatterns += c.Count
+		}
+		if gotPatterns != refPatterns {
+			t.Fatalf("workers=%d stopped after %d patterns, want %d",
+				workers, gotPatterns, refPatterns)
+		}
+		modelsIdentical(t, ref, got, fmt.Sprintf("converging workers=%d", workers))
+	}
+}
+
+// TestCharacterizePortsWorkerCountIndependent extends the determinism
+// contract to the port-resolved model.
+func TestCharacterizePortsWorkerCountIndependent(t *testing.T) {
+	opt := CharacterizeOptions{Patterns: 900, Seed: 5, Workers: 1}
+	ref, err := CharacterizePorts(meterFor(t, "csa-multiplier", 4), "csa", 4, 4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 7} {
+		opt.Workers = workers
+		got, err := CharacterizePorts(meterFor(t, "csa-multiplier", 4), "csa", 4, 4, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref.Coeffs, got.Coeffs) {
+			t.Fatalf("workers=%d: port coefficients differ", workers)
+		}
 	}
 }

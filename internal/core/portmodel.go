@@ -131,31 +131,23 @@ func LoadPortModel(data []byte) (*PortModel, error) {
 	return &pm, nil
 }
 
-// CharacterizePorts fits a port-resolved model for a module whose packed
-// input vector is port A (low widthA bits) followed by port B. Pairs are
-// stratified over the (Hd_A, Hd_B) grid so every class receives samples.
-func CharacterizePorts(meter *power.Meter, moduleName string, widthA, widthB int,
-	opt CharacterizeOptions) (*PortModel, error) {
-	opt.setDefaults()
-	m := meter.NumInputBits()
-	if widthA <= 0 || widthB <= 0 || widthA+widthB != m {
-		return nil, fmt.Errorf("core: port widths %d+%d do not match %d input bits",
-			widthA, widthB, m)
-	}
-	pm := &PortModel{Module: moduleName, WidthA: widthA, WidthB: widthB}
+// runPortShard simulates one shard of the port-characterization stream on
+// the worker's own meter and returns its partial (Hd_A, Hd_B) grid.
+func runPortShard(meter *power.Meter, widthA, widthB int, sh shard, seed int64) [][]classAcc {
 	acc := make([][]classAcc, widthA+1)
 	for ia := range acc {
 		acc[ia] = make([]classAcc, widthB+1)
 	}
-
-	psA := NewPairSource(widthA, opt.Seed)
-	psB := NewPairSource(widthB, opt.Seed+1)
-	for j := 0; j < opt.Patterns; j++ {
+	psA := newPairSource(widthA, shardSeed(seed, streamPortA, sh.index), false)
+	psB := newPairSource(widthB, shardSeed(seed, streamPortB, sh.index), false)
+	for k := 0; k < sh.patterns; k++ {
 		uA, vA := psA.Next()
 		uB, vB := psB.Next()
 		// The per-port sources always flip at least one bit; to cover the
-		// (ia, 0) and (0, ib) edges, alternately freeze one port.
-		switch j % 4 {
+		// (ia, 0) and (0, ib) edges, alternately freeze one port. The
+		// freeze schedule follows the absolute pattern index so shard
+		// boundaries do not disturb it.
+		switch (sh.offset + k) % 4 {
 		case 1:
 			vB = uB
 		case 3:
@@ -172,6 +164,47 @@ func CharacterizePorts(meter *power.Meter, moduleName string, widthA, widthB int
 		}
 		acc[ia][ib].add(q)
 	}
+	return acc
+}
+
+// CharacterizePorts fits a port-resolved model for a module whose packed
+// input vector is port A (low widthA bits) followed by port B. Pairs are
+// stratified over the (Hd_A, Hd_B) grid so every class receives samples.
+// Like Characterize, the pattern stream is sharded deterministically and
+// fanned out over Workers meter clones; the fitted model is bit-identical
+// for every worker count.
+func CharacterizePorts(meter *power.Meter, moduleName string, widthA, widthB int,
+	opt CharacterizeOptions) (*PortModel, error) {
+	opt.setDefaults()
+	m := meter.NumInputBits()
+	if widthA <= 0 || widthB <= 0 || widthA+widthB != m {
+		return nil, fmt.Errorf("core: port widths %d+%d do not match %d input bits",
+			widthA, widthB, m)
+	}
+	pm := &PortModel{Module: moduleName, WidthA: widthA, WidthB: widthB}
+	acc := make([][]classAcc, widthA+1)
+	for ia := range acc {
+		acc[ia] = make([]classAcc, widthB+1)
+	}
+
+	plan := shardPlan(opt.Patterns)
+	workers := opt.workerCount()
+	if workers > len(plan) {
+		workers = len(plan)
+	}
+	meters := meterPool(meter, workers)
+	runShardsOrdered(len(plan), workers,
+		func(w, idx int) [][]classAcc {
+			return runPortShard(meters[w], widthA, widthB, plan[idx], opt.Seed)
+		},
+		func(idx int, part [][]classAcc) bool {
+			for ia := range acc {
+				for ib := range acc[ia] {
+					acc[ia][ib].merge(&part[ia][ib])
+				}
+			}
+			return true
+		})
 
 	pm.Coeffs = make([][]Coef, widthA+1)
 	for ia := range pm.Coeffs {

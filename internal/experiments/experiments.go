@@ -34,6 +34,12 @@ type Config struct {
 	// Engine is the reference simulation engine (EventDriven unless an
 	// ablation says otherwise).
 	Engine sim.Engine
+	// Workers bounds the goroutines used at both parallelism levels: the
+	// suite characterizes distinct module instances concurrently, and each
+	// characterization fans its sharded pattern stream out over the same
+	// number of meter clones. 0 means runtime.NumCPU(). Results are
+	// independent of the value (see core.Characterize).
+	Workers int
 }
 
 // Default returns the full-scale configuration used for EXPERIMENTS.md.
@@ -60,11 +66,21 @@ func Quick() Config {
 
 // Suite runs experiments and caches characterized models so that tables
 // sharing instances (Table 1/2, Figure 1/2) characterize each only once.
+// All methods are safe for concurrent use; the cache is singleflight, so
+// concurrent requests for the same instance block on one characterization
+// instead of duplicating it.
 type Suite struct {
 	cfg Config
 
 	mu     sync.Mutex
-	models map[string]*core.Model
+	models map[string]*modelEntry
+}
+
+// modelEntry is one singleflight cache slot.
+type modelEntry struct {
+	once  sync.Once
+	model *core.Model
+	err   error
 }
 
 // New creates a Suite for a configuration.
@@ -72,7 +88,7 @@ func New(cfg Config) *Suite {
 	if cfg.CharPatterns <= 0 || cfg.EvalPatterns <= 0 || len(cfg.Widths) == 0 {
 		panic("experiments: incomplete config")
 	}
-	return &Suite{cfg: cfg, models: make(map[string]*core.Model)}
+	return &Suite{cfg: cfg, models: make(map[string]*modelEntry)}
 }
 
 // Config returns the suite configuration.
@@ -96,29 +112,28 @@ func (s *Suite) meter(name string, width int) (*power.Meter, dwlib.Module, error
 func (s *Suite) Model(name string, width int, enhanced bool) (*core.Model, error) {
 	key := fmt.Sprintf("%s/%d/%v", name, width, enhanced)
 	s.mu.Lock()
-	if m, ok := s.models[key]; ok {
-		s.mu.Unlock()
-		return m, nil
+	e, ok := s.models[key]
+	if !ok {
+		e = &modelEntry{}
+		s.models[key] = e
 	}
 	s.mu.Unlock()
 
-	meter, _, err := s.meter(name, width)
-	if err != nil {
-		return nil, err
-	}
-	model, err := core.Characterize(meter, fmt.Sprintf("%s-%d", name, width),
-		core.CharacterizeOptions{
-			Patterns: s.cfg.CharPatterns,
-			Enhanced: enhanced,
-			Seed:     s.cfg.Seed + int64(width),
-		})
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.models[key] = model
-	s.mu.Unlock()
-	return model, nil
+	e.once.Do(func() {
+		meter, _, err := s.meter(name, width)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.model, e.err = core.Characterize(meter, fmt.Sprintf("%s-%d", name, width),
+			core.CharacterizeOptions{
+				Patterns: s.cfg.CharPatterns,
+				Enhanced: enhanced,
+				Seed:     s.cfg.Seed + int64(width),
+				Workers:  s.cfg.Workers,
+			})
+	})
+	return e.model, e.err
 }
 
 // Stream builds the canonical input stream for a module instance and data

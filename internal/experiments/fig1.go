@@ -28,22 +28,29 @@ type Figure1Result struct {
 }
 
 // Figure1 characterizes the 16-input-bit prototype of each paper module
-// and collects the basic coefficient profiles.
+// concurrently and collects the basic coefficient profiles in the fixed
+// prototype order.
 func (s *Suite) Figure1() (*Figure1Result, error) {
-	res := &Figure1Result{}
-	for _, mod := range figure1Prototypes() {
+	protos := figure1Prototypes()
+	modules := make([]Figure1Module, len(protos))
+	err := forEachIndexed(len(protos), s.cfg.Workers, func(i int) error {
+		mod := protos[i]
 		model, err := s.Model(mod.name, mod.width, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fm := Figure1Module{Module: mod.name, OperandWidth: mod.width, TotalEps: model.TotalDeviation()}
-		for i := 1; i <= model.InputBits; i++ {
-			fm.P = append(fm.P, model.P(i))
-			fm.Epsilon = append(fm.Epsilon, model.Basic[i-1].Epsilon)
+		for k := 1; k <= model.InputBits; k++ {
+			fm.P = append(fm.P, model.P(k))
+			fm.Epsilon = append(fm.Epsilon, model.Basic[k-1].Epsilon)
 		}
-		res.Modules = append(res.Modules, fm)
+		modules[i] = fm
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Figure1Result{Modules: modules}, nil
 }
 
 type proto struct {

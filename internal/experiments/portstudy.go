@@ -41,6 +41,7 @@ func (s *Suite) PortStudy() (*PortStudyResult, error) {
 	port, err := core.CharacterizePorts(meter, name, width, width, core.CharacterizeOptions{
 		Patterns: s.cfg.CharPatterns * 2, // the 2-D table has ~5x the classes
 		Seed:     s.cfg.Seed + 77,
+		Workers:  s.cfg.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -22,16 +22,21 @@ func (s *Suite) fitSets(name string) (map[regress.PrototypeSet]*regress.ParamMod
 		return nil, nil, err
 	}
 	basis := regress.BasisFor(name)
-	byWidth := make(map[int]regress.Prototype)
-	var all []regress.Prototype
-	for _, w := range regress.SetAll.Widths() {
-		model, err := s.Model(name, w, false)
+	widths := regress.SetAll.Widths()
+	all := make([]regress.Prototype, len(widths))
+	if err := forEachIndexed(len(widths), s.cfg.Workers, func(i int) error {
+		model, err := s.Model(name, widths[i], false)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		p := regress.Prototype{Width: w, Model: model}
-		byWidth[w] = p
-		all = append(all, p)
+		all[i] = regress.Prototype{Width: widths[i], Model: model}
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	byWidth := make(map[int]regress.Prototype, len(all))
+	for _, p := range all {
+		byWidth[p.Width] = p
 	}
 	fits := make(map[regress.PrototypeSet]*regress.ParamModel)
 	for _, set := range regress.AllSets() {

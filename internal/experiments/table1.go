@@ -29,20 +29,36 @@ type Table1Result struct {
 }
 
 // Table1 characterizes every paper module at every configured width and
-// evaluates the basic model on the five data-type streams.
+// evaluates the basic model on the five data-type streams. The
+// (module, width) instances are independent, so they run concurrently on
+// the suite's worker pool; the row order stays the sequential one.
 func (s *Suite) Table1() (*Table1Result, error) {
-	res := &Table1Result{
-		AvgCycle:   make(map[stimuli.DataType]float64),
-		AvgAverage: make(map[stimuli.DataType]float64),
+	type job struct {
+		mod   dwlib.Module
+		width int
 	}
+	var jobs []job
 	for _, mod := range dwlib.PaperModules() {
 		for _, width := range s.cfg.Widths {
-			row, err := s.table1Row(mod, width)
-			if err != nil {
-				return nil, fmt.Errorf("table1 %s/%d: %w", mod.Name, width, err)
-			}
-			res.Rows = append(res.Rows, row)
+			jobs = append(jobs, job{mod: mod, width: width})
 		}
+	}
+	rows := make([]Table1Row, len(jobs))
+	err := forEachIndexed(len(jobs), s.cfg.Workers, func(i int) error {
+		row, err := s.table1Row(jobs[i].mod, jobs[i].width)
+		if err != nil {
+			return fmt.Errorf("table1 %s/%d: %w", jobs[i].mod.Name, jobs[i].width, err)
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Table1Result{
+		Rows:       rows,
+		AvgCycle:   make(map[stimuli.DataType]float64),
+		AvgAverage: make(map[stimuli.DataType]float64),
 	}
 	for _, dt := range stimuli.AllDataTypes() {
 		var sc, sa float64

@@ -20,7 +20,7 @@ import (
 
 // Meter measures per-cycle charge consumption of one netlist. It wraps a
 // simulator and pre-computes per-net capacitances. Not safe for concurrent
-// use.
+// use; Clone returns an independent meter for use on another goroutine.
 type Meter struct {
 	s    *sim.Simulator
 	caps []float64
@@ -39,6 +39,14 @@ func NewMeter(nl *netlist.Netlist, engine sim.Engine) (*Meter, error) {
 		caps[id] = nl.NetCap(netlist.NetID(id))
 	}
 	return &Meter{s: s, caps: caps}, nil
+}
+
+// Clone returns an independent meter over the same netlist. The clone
+// shares the immutable capacitance table and circuit topology with the
+// receiver (see sim.Simulator.Clone) and owns its simulation state, so
+// clones may measure concurrently — one meter per goroutine.
+func (m *Meter) Clone() *Meter {
+	return &Meter{s: m.s.Clone(), caps: m.caps}
 }
 
 // Simulator exposes the underlying simulator (for functional checks).

@@ -209,3 +209,29 @@ func TestEventDrivenChargeAtLeastZeroDelay(t *testing.T) {
 		}
 	}
 }
+
+func TestMeterCloneMeasuresIdentically(t *testing.T) {
+	ref, err := NewMeter(xorTree(8), sim.EventDriven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := ref.Clone()
+	rng := rand.New(rand.NewSource(23))
+	var vecs []logic.Word
+	for i := 0; i < 80; i++ {
+		vecs = append(vecs, logic.FromUint(uint64(rng.Intn(256)), 8))
+	}
+	rt, err := ref.Run(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := clone.Run(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range rt.Q {
+		if rt.Q[j] != ct.Q[j] {
+			t.Fatalf("cycle %d: clone charge %v != original %v", j, ct.Q[j], rt.Q[j])
+		}
+	}
+}

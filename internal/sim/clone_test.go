@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hdpower/internal/logic"
+	"hdpower/internal/netlist"
+)
+
+// cloneTestNetlist builds a small reconvergent circuit with enough depth
+// to produce glitches under the event-driven engine: a 4-bit ripple
+// carry chain XORed against a parity tree of the same inputs.
+func cloneTestNetlist(t testing.TB) *netlist.Netlist {
+	t.Helper()
+	nl := netlist.New("clone-test")
+	a := nl.AddInputBus("a", 4)
+	b := nl.AddInputBus("b", 4)
+	carry := nl.Const(false)
+	sums := make([]netlist.NetID, 4)
+	for i := 0; i < 4; i++ {
+		sums[i], carry = nl.FullAdder(a.Nets[i], b.Nets[i], carry)
+	}
+	par := nl.Xor(a.Nets[0], b.Nets[3])
+	for i := 1; i < 4; i++ {
+		par = nl.Xor(par, nl.Xor(a.Nets[i], b.Nets[i-1]))
+	}
+	outs := append(append([]netlist.NetID{}, sums...), carry, par)
+	nl.MarkOutputBus("y", outs)
+	if err := nl.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+// runStream settles on the first vector and applies the rest, returning
+// the summed per-net toggle counts.
+func runStream(s *Simulator, vectors []logic.Word) []int64 {
+	sum := make([]int64, s.Netlist().NumNets())
+	s.Settle(vectors[0])
+	for _, v := range vectors[1:] {
+		for id, c := range s.Apply(v) {
+			sum[id] += c
+		}
+	}
+	return sum
+}
+
+func randomStream(width, n int, seed int64) []logic.Word {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]logic.Word, n)
+	for i := range out {
+		w := logic.NewWord(width)
+		for b := 0; b < width; b++ {
+			if rng.Intn(2) == 1 {
+				w.Set(b, true)
+			}
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// TestCloneMatchesOriginal checks that a clone reproduces the original
+// simulator's toggle counts exactly, for every engine.
+func TestCloneMatchesOriginal(t *testing.T) {
+	nl := cloneTestNetlist(t)
+	stream := randomStream(8, 200, 42)
+	for _, engine := range []Engine{ZeroDelay, EventDriven, Inertial} {
+		ref, err := New(nl, engine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clone := ref.Clone()
+		want := runStream(ref, stream)
+		got := runStream(clone, stream)
+		for id := range want {
+			if want[id] != got[id] {
+				t.Fatalf("%s: net %d toggles %d (clone) != %d (original)",
+					engine, id, got[id], want[id])
+			}
+		}
+	}
+}
+
+// TestCloneIsIndependent checks that mutating the original does not leak
+// into a clone's results.
+func TestCloneIsIndependent(t *testing.T) {
+	nl := cloneTestNetlist(t)
+	ref, err := New(nl, EventDriven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := randomStream(8, 100, 7)
+	want := runStream(ref.Clone(), stream)
+
+	clone := ref.Clone()
+	// Drive the original through an unrelated stream between the clone's
+	// cycles; the clone must not notice.
+	noise := randomStream(8, 100, 99)
+	clone.Settle(stream[0])
+	ref.Settle(noise[0])
+	sum := make([]int64, nl.NumNets())
+	for i, v := range stream[1:] {
+		ref.Apply(noise[1+i%99])
+		for id, c := range clone.Apply(v) {
+			sum[id] += c
+		}
+	}
+	for id := range want {
+		if want[id] != sum[id] {
+			t.Fatalf("net %d toggles %d with interleaved original, want %d", id, sum[id], want[id])
+		}
+	}
+}
+
+// TestClonesRunConcurrently runs several clones (and the original) on
+// different goroutines at once; each must produce exactly the toggle
+// counts of a sequential run of the same stream. Run under -race this
+// also proves the shared topology is never written after New.
+func TestClonesRunConcurrently(t *testing.T) {
+	nl := cloneTestNetlist(t)
+	ref, err := New(nl, EventDriven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	streams := make([][]logic.Word, workers)
+	want := make([][]int64, workers)
+	for w := range streams {
+		streams[w] = randomStream(8, 300, int64(1000+w))
+		want[w] = runStream(ref.Clone(), streams[w])
+	}
+
+	sims := make([]*Simulator, workers)
+	sims[0] = ref // the original participates too
+	for w := 1; w < workers; w++ {
+		sims[w] = ref.Clone()
+	}
+	got := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = runStream(sims[w], streams[w])
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		for id := range want[w] {
+			if want[w][id] != got[w][id] {
+				t.Fatalf("worker %d: net %d toggles %d != %d", w, id, got[w][id], want[w][id])
+			}
+		}
+	}
+}

@@ -90,8 +90,8 @@ func (s *Simulator) applyInertial(v logic.Word) {
 		if s.value[id] != nv {
 			s.value[id] = nv
 			s.toggles[id]++
-			for _, p := range s.nl.FanoutPins(id) {
-				evaluate(p.Gate, 0)
+			for _, g := range s.fanout[id] {
+				evaluate(g, 0)
 			}
 		}
 	}
@@ -110,8 +110,8 @@ func (s *Simulator) applyInertial(v logic.Word) {
 		if s.recording {
 			s.record = append(s.record, event{time: e.time, net: out, val: e.val})
 		}
-		for _, p := range s.nl.FanoutPins(out) {
-			evaluate(p.Gate, e.time)
+		for _, g := range s.fanout[out] {
+			evaluate(g, e.time)
 		}
 	}
 }

@@ -17,6 +17,16 @@
 // Settle(u) establishes a quiescent state on vector u without recording
 // activity, then Apply(v) switches the inputs to v and returns the per-net
 // toggle counts of the resulting transient.
+//
+// # Concurrency
+//
+// A Simulator is not safe for concurrent use, but Clone returns an
+// independent simulator over the same finalized netlist: clones share the
+// immutable topology (netlist, input ordering, topological order, per-gate
+// delays, fanout tables) and own all mutable value/toggle/event state, so
+// one simulator per goroutine — the original and any number of clones —
+// may run Settle/Apply concurrently. Cloning is O(nets), far cheaper than
+// New, which is what makes worker pools over a shared netlist practical.
 package sim
 
 import (
@@ -55,13 +65,16 @@ func (e Engine) String() string {
 }
 
 // Simulator simulates one netlist. It is not safe for concurrent use;
-// create one Simulator per goroutine.
+// create one Simulator per goroutine (see Clone).
 type Simulator struct {
 	nl     *netlist.Netlist
 	engine Engine
 
+	// Immutable after New; shared between clones.
 	inputNets []netlist.NetID
 	order     []netlist.GateID
+	fanout    [][]netlist.GateID // per-net fanout gates, precomputed
+	delay     []int              // per-gate delay, precomputed
 
 	value   []bool  // current value per net
 	toggles []int64 // per-net toggle counts of the last Apply
@@ -69,7 +82,6 @@ type Simulator struct {
 	// event-driven state
 	buckets   [][]netlist.GateID // time wheel, index = absolute time
 	scheduled []int              // last time a gate was scheduled, -1 if never
-	delay     []int              // per-gate delay, precomputed
 
 	// inertial-engine state
 	pending []*inertialEvent
@@ -103,6 +115,20 @@ func New(nl *netlist.Netlist, engine Engine) (*Simulator, error) {
 	for g := 0; g < nl.NumGates(); g++ {
 		s.delay[g] = cells.Lookup(nl.GateKind(netlist.GateID(g))).Delay
 	}
+	// Flatten the fanout gate lists once; the event loops walk them on
+	// every transition and must not allocate there.
+	s.fanout = make([][]netlist.GateID, nl.NumNets())
+	for id := 0; id < nl.NumNets(); id++ {
+		pins := nl.FanoutPins(netlist.NetID(id))
+		if len(pins) == 0 {
+			continue
+		}
+		gates := make([]netlist.GateID, len(pins))
+		for i, p := range pins {
+			gates[i] = p.Gate
+		}
+		s.fanout[id] = gates
+	}
 	// Constants hold their value forever.
 	for id := 0; id < nl.NumNets(); id++ {
 		if v, isConst := nl.IsConst(netlist.NetID(id)); isConst {
@@ -110,6 +136,33 @@ func New(nl *netlist.Netlist, engine Engine) (*Simulator, error) {
 		}
 	}
 	return s, nil
+}
+
+// Clone returns an independent simulator over the same finalized netlist.
+// The clone shares the receiver's immutable topology — netlist, input
+// ordering, topological order, per-gate delays, and fanout tables — and
+// owns fresh value, toggle, and event state, so the clone and the receiver
+// may simulate concurrently on different goroutines. The clone starts
+// unsettled (Settle must be called before Apply) regardless of the
+// receiver's state, and never inherits VCD recording.
+func (s *Simulator) Clone() *Simulator {
+	c := &Simulator{
+		nl:        s.nl,
+		engine:    s.engine,
+		inputNets: s.inputNets,
+		order:     s.order,
+		fanout:    s.fanout,
+		delay:     s.delay,
+		value:     make([]bool, len(s.value)),
+		toggles:   make([]int64, len(s.toggles)),
+		scheduled: make([]int, len(s.scheduled)),
+	}
+	for id := 0; id < c.nl.NumNets(); id++ {
+		if v, isConst := c.nl.IsConst(netlist.NetID(id)); isConst {
+			c.value[id] = v
+		}
+	}
+	return c
 }
 
 // Netlist returns the simulated netlist.
@@ -256,16 +309,16 @@ func (s *Simulator) applyEventDriven(v logic.Word) {
 // scheduleFanout schedules evaluation of every gate fed by net id, at
 // time now + delay(gate). Duplicate same-time schedules are suppressed.
 func (s *Simulator) scheduleFanout(id netlist.NetID, now int) {
-	for _, p := range s.nl.FanoutPins(id) {
-		t := now + s.delay[p.Gate]
-		if s.scheduled[p.Gate] == t {
+	for _, g := range s.fanout[id] {
+		t := now + s.delay[g]
+		if s.scheduled[g] == t {
 			continue
 		}
-		s.scheduled[p.Gate] = t
+		s.scheduled[g] = t
 		for len(s.buckets) <= t {
 			s.buckets = append(s.buckets, nil)
 		}
-		s.buckets[t] = append(s.buckets[t], p.Gate)
+		s.buckets[t] = append(s.buckets[t], g)
 	}
 }
 
