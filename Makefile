@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: test race bench bench-char repro
+# Enforced coverage floors (percent of statements) for the packages the
+# paper's correctness hangs on; `make cover` fails below them.
+COVER_FLOOR_CORE ?= 90
+COVER_FLOOR_SIM  ?= 90
+
+.PHONY: test race cover bench bench-char bench-fresh bench-gate repro
 
 # Tier-1 gate: everything builds, everything passes.
 test:
@@ -8,19 +13,47 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent packages (characterization
-# engine, simulator clones, experiment suite).
+# engine, simulator clones, experiment suite, serving layer + metrics).
 race:
-	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/power/... ./internal/experiments/...
+	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/power/... \
+		./internal/experiments/... ./internal/serve/... ./internal/obs/...
+
+# Coverage profiles with enforced floors on internal/core and
+# internal/sim; CI publishes the profiles as artifacts.
+cover:
+	$(GO) test -coverprofile=coverage_core.out ./internal/core
+	$(GO) test -coverprofile=coverage_sim.out ./internal/sim
+	@for spec in core:$(COVER_FLOOR_CORE) sim:$(COVER_FLOOR_SIM); do \
+		pkg=$${spec%%:*}; floor=$${spec##*:}; \
+		total=$$($(GO) tool cover -func=coverage_$$pkg.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+		echo "internal/$$pkg coverage: $$total% (floor $$floor%)"; \
+		awk -v t="$$total" -v f="$$floor" 'BEGIN { exit !(t >= f) }' || \
+			{ echo "FAIL: internal/$$pkg coverage $$total% below floor $$floor%"; exit 1; }; \
+	done
 
 # Full benchmark sweep.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
 # Characterization throughput across worker counts, published as JSON for
-# trajectory tracking.
+# trajectory tracking. Overwrites the committed baseline — use bench-gate
+# to compare against it instead.
 bench-char:
 	$(GO) test -run '^$$' -bench BenchmarkCharacterizeParallel -benchtime 2x . | $(GO) run ./cmd/benchjson > BENCH_characterize.json
 	@cat BENCH_characterize.json
+
+# Fresh benchmark numbers without touching the committed baseline.
+bench-fresh:
+	$(GO) test -run '^$$' -bench BenchmarkCharacterizeParallel -benchtime 2x . | $(GO) run ./cmd/benchjson > BENCH_fresh.json
+	@cat BENCH_fresh.json
+
+# Bench-regression gate: fail on >25% patterns/sec regression against the
+# committed BENCH_characterize.json. CI additionally enforces the
+# worker-scaling floor (benchcmp -min-scale 1.5) on its multi-core
+# runners; that check is meaningless on a single-core host, so it is not
+# applied here.
+bench-gate: bench-fresh
+	$(GO) run ./cmd/benchcmp -old BENCH_characterize.json -new BENCH_fresh.json -max-regress 0.25
 
 # Regenerate the paper's tables and figures at full scale.
 repro:

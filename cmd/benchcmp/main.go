@@ -1,0 +1,159 @@
+// Command benchcmp is the CI bench-regression gate: it compares two
+// benchmark JSON files produced by cmd/benchjson and fails (exit 1) when
+// the new run regresses a higher-is-better metric beyond a tolerance, or
+// when the worker-scaling ratio drops below a floor.
+//
+//	go run ./cmd/benchcmp -old BENCH_characterize.json -new BENCH_fresh.json \
+//	    -metric patterns/sec -max-regress 0.25
+//
+// The scaling check (-min-scale) compares the metric of the -scale-target
+// benchmark against the -scale-base one within the NEW file; it only makes
+// sense on multi-core runners, so it is off by default and enabled
+// explicitly by the CI workflow.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// record mirrors cmd/benchjson's output schema.
+type record struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	var (
+		oldPath     = flag.String("old", "", "baseline benchmark JSON (committed)")
+		newPath     = flag.String("new", "", "fresh benchmark JSON")
+		metric      = flag.String("metric", "patterns/sec", "higher-is-better metric to gate on")
+		maxRegress  = flag.Float64("max-regress", 0.25, "maximum tolerated fractional regression (0.25 = 25%)")
+		minScale    = flag.Float64("min-scale", 0, "minimum scale-target/scale-base ratio in the new run (0 disables)")
+		scaleBase   = flag.String("scale-base", "workers=1", "benchmark name substring of the scaling baseline")
+		scaleTarget = flag.String("scale-target", "workers=8", "benchmark name substring of the scaling target")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -old and -new are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	failures, err := run(os.Stdout, *oldPath, *newPath, *metric, *maxRegress, *minScale, *scaleBase, *scaleTarget)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "benchcmp: FAIL: %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchcmp: ok")
+}
+
+func load(path string) ([]record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark records", path)
+	}
+	return recs, nil
+}
+
+// run performs the comparison and returns human-readable failures.
+// I/O problems and malformed inputs come back as err (exit 2, not a
+// regression verdict).
+func run(out io.Writer, oldPath, newPath, metric string, maxRegress, minScale float64, scaleBase, scaleTarget string) ([]string, error) {
+	oldRecs, err := load(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	newRecs, err := load(newPath)
+	if err != nil {
+		return nil, err
+	}
+	failures := compare(out, oldRecs, newRecs, metric, maxRegress)
+	if minScale > 0 {
+		failures = append(failures, checkScaling(out, newRecs, metric, minScale, scaleBase, scaleTarget)...)
+	}
+	return failures, nil
+}
+
+// compare gates every baseline benchmark's metric against the fresh run.
+func compare(out io.Writer, oldRecs, newRecs []record, metric string, maxRegress float64) []string {
+	byName := make(map[string]record, len(newRecs))
+	for _, r := range newRecs {
+		byName[r.Name] = r
+	}
+	var failures []string
+	fmt.Fprintf(out, "%-50s %14s %14s %8s\n", "benchmark", "old "+metric, "new "+metric, "delta")
+	for _, o := range oldRecs {
+		ov, ok := o.Metrics[metric]
+		if !ok {
+			// Baseline rows without the gated metric don't constrain the run.
+			continue
+		}
+		n, ok := byName[o.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline, missing from new run", o.Name))
+			continue
+		}
+		nv, ok := n.Metrics[metric]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: new run lacks metric %q", o.Name, metric))
+			continue
+		}
+		delta := 0.0
+		if ov > 0 {
+			delta = nv/ov - 1
+		}
+		fmt.Fprintf(out, "%-50s %14.1f %14.1f %+7.1f%%\n", o.Name, ov, nv, delta*100)
+		if ov > 0 && nv < ov*(1-maxRegress) {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %s regressed %.1f%% (%.1f -> %.1f, tolerance %.0f%%)",
+				o.Name, metric, -delta*100, ov, nv, maxRegress*100))
+		}
+	}
+	return failures
+}
+
+// checkScaling enforces the parallel-speedup floor within the new run.
+func checkScaling(out io.Writer, recs []record, metric string, minScale float64, base, target string) []string {
+	find := func(sub string) (record, bool) {
+		for _, r := range recs {
+			if strings.Contains(r.Name, sub) {
+				return r, true
+			}
+		}
+		return record{}, false
+	}
+	b, okB := find(base)
+	tr, okT := find(target)
+	if !okB || !okT {
+		return []string{fmt.Sprintf("scaling check: missing %q or %q in new run", base, target)}
+	}
+	bv, tv := b.Metrics[metric], tr.Metrics[metric]
+	if bv <= 0 {
+		return []string{fmt.Sprintf("scaling check: baseline %s has %s = %v", b.Name, metric, bv)}
+	}
+	ratio := tv / bv
+	fmt.Fprintf(out, "scaling %s: %s/%s = %.2fx (floor %.2fx)\n", metric, target, base, ratio, minScale)
+	if ratio < minScale {
+		return []string{fmt.Sprintf("scaling: %s is %.2fx of %s in %s, floor %.2fx",
+			target, ratio, base, metric, minScale)}
+	}
+	return nil
+}

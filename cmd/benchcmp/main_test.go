@@ -1,0 +1,85 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func rec(name string, pps float64) record {
+	return record{Name: name, Iterations: 2, Metrics: map[string]float64{"patterns/sec": pps, "ns/op": 1e6}}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	oldRecs := []record{rec("B/workers=1", 1000), rec("B/workers=8", 4000)}
+	newRecs := []record{rec("B/workers=1", 900), rec("B/workers=8", 3200)}
+	if fails := compare(io.Discard, oldRecs, newRecs, "patterns/sec", 0.25); len(fails) != 0 {
+		t.Fatalf("unexpected failures: %v", fails)
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	oldRecs := []record{rec("B/workers=1", 1000)}
+	newRecs := []record{rec("B/workers=1", 700)}
+	fails := compare(io.Discard, oldRecs, newRecs, "patterns/sec", 0.25)
+	if len(fails) != 1 || !strings.Contains(fails[0], "regressed") {
+		t.Fatalf("failures = %v", fails)
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	oldRecs := []record{rec("B/workers=1", 1000), rec("B/workers=8", 4000)}
+	newRecs := []record{rec("B/workers=1", 1000)}
+	fails := compare(io.Discard, oldRecs, newRecs, "patterns/sec", 0.25)
+	if len(fails) != 1 || !strings.Contains(fails[0], "missing") {
+		t.Fatalf("failures = %v", fails)
+	}
+}
+
+func TestCompareMissingMetricInNewRun(t *testing.T) {
+	oldRecs := []record{rec("B/workers=1", 1000)}
+	newRecs := []record{{Name: "B/workers=1", Iterations: 2, Metrics: map[string]float64{"ns/op": 1}}}
+	fails := compare(io.Discard, oldRecs, newRecs, "patterns/sec", 0.25)
+	if len(fails) != 1 || !strings.Contains(fails[0], "lacks metric") {
+		t.Fatalf("failures = %v", fails)
+	}
+}
+
+func TestScaling(t *testing.T) {
+	recs := []record{rec("B/workers=1", 1000), rec("B/workers=8", 1400)}
+	fails := checkScaling(io.Discard, recs, "patterns/sec", 1.5, "workers=1", "workers=8")
+	if len(fails) != 1 {
+		t.Fatalf("1.4x under a 1.5x floor must fail: %v", fails)
+	}
+	recs[1].Metrics["patterns/sec"] = 1600
+	if fails := checkScaling(io.Discard, recs, "patterns/sec", 1.5, "workers=1", "workers=8"); len(fails) != 0 {
+		t.Fatalf("1.6x over a 1.5x floor must pass: %v", fails)
+	}
+	if fails := checkScaling(io.Discard, recs, "patterns/sec", 1.5, "workers=1", "workers=64"); len(fails) != 1 {
+		t.Fatalf("missing target must fail: %v", fails)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	os.WriteFile(oldPath, []byte(`[{"name":"B/workers=1","iterations":2,"metrics":{"patterns/sec":1000}}]`), 0o644)
+	os.WriteFile(newPath, []byte(`[{"name":"B/workers=1","iterations":2,"metrics":{"patterns/sec":1100}}]`), 0o644)
+	fails, err := run(io.Discard, oldPath, newPath, "patterns/sec", 0.25, 0, "", "")
+	if err != nil || len(fails) != 0 {
+		t.Fatalf("run: %v %v", fails, err)
+	}
+
+	// Empty and malformed inputs are tool errors, not verdicts.
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte(`[]`), 0o644)
+	if _, err := run(io.Discard, oldPath, empty, "patterns/sec", 0.25, 0, "", ""); err == nil {
+		t.Fatal("empty new file must error")
+	}
+	if _, err := run(io.Discard, filepath.Join(dir, "nope.json"), newPath, "patterns/sec", 0.25, 0, "", ""); err == nil {
+		t.Fatal("missing old file must error")
+	}
+}

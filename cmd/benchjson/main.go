@@ -4,12 +4,17 @@
 // benchmark through it to publish BENCH_characterize.json:
 //
 //	go test -run '^$' -bench BenchmarkCharacterizeParallel . | benchjson
+//
+// The tool is a CI gate input, so it fails loudly instead of emitting
+// empty or partial JSON: no benchmark result lines on stdin, or a result
+// line whose metrics cannot be parsed, exit non-zero.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -22,48 +27,78 @@ type record struct {
 }
 
 func main() {
-	recs := []record{}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		if rec, ok := parseLine(sc.Text()); ok {
-			recs = append(recs, rec)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(recs); err != nil {
+	if err := convert(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
+// convert reads `go test -bench` output and writes the JSON records, or
+// returns an error when the input holds no usable benchmark results.
+func convert(in io.Reader, out io.Writer) error {
+	recs := []record{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		rec, ok, err := parseLine(sc.Text())
+		if err != nil {
+			return fmt.Errorf("stdin line %d: %w", lineNo, err)
+		}
+		if ok {
+			recs = append(recs, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("no benchmark result lines on stdin (did the benchmark run, and was its output piped here?)")
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
 // parseLine handles the testing package's benchmark result format:
 //
 //	BenchmarkName/sub-8   5   123 ns/op   456 patterns/sec   ...
-func parseLine(line string) (record, bool) {
+//
+// Non-result lines (package headers, PASS/ok, a benchmark's own log
+// output) are skipped; a genuine result line that cannot be fully parsed
+// is an error, because silently dropping it would let a CI gate pass on
+// missing data.
+func parseLine(line string) (record, bool, error) {
 	if !strings.HasPrefix(line, "Benchmark") {
-		return record{}, false
+		return record{}, false, nil
 	}
 	fields := strings.Fields(line)
-	if len(fields) < 4 {
-		return record{}, false
+	if len(fields) < 2 {
+		// Bare benchmark-name announce line (printed before sub-benchmark
+		// log output); not a result.
+		return record{}, false, nil
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
-		return record{}, false
+		// Starts with "Benchmark" but the second token is not an
+		// iteration count: benchmark log output, not a result line.
+		return record{}, false, nil
 	}
-	rec := record{Name: fields[0], Iterations: iters, Metrics: make(map[string]float64)}
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
+	rest := fields[2:]
+	if len(rest) == 0 {
+		return record{}, false, fmt.Errorf("benchmark line %q has no metrics", line)
+	}
+	if len(rest)%2 != 0 {
+		return record{}, false, fmt.Errorf("benchmark line %q has a truncated value/unit pair", line)
+	}
+	rec := record{Name: fields[0], Iterations: iters, Metrics: make(map[string]float64, len(rest)/2)}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
 		if err != nil {
-			return record{}, false
+			return record{}, false, fmt.Errorf("benchmark line %q: bad metric value %q: %v", line, rest[i], err)
 		}
-		rec.Metrics[fields[i+1]] = v
+		rec.Metrics[rest[i+1]] = v
 	}
-	return rec, true
+	return rec, true, nil
 }

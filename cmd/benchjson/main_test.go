@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: hdpower
+cpu: some cpu
+BenchmarkCharacterizeParallel/workers=1-8         	       2	271011689 ns/op	      7380 patterns/sec
+BenchmarkCharacterizeParallel/workers=8-8         	       2	277127546 ns/op	      7217 patterns/sec
+PASS
+ok  	hdpower	2.5s
+`
+
+func TestConvertValid(t *testing.T) {
+	var out bytes.Buffer
+	if err := convert(strings.NewReader(benchOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	var recs []record
+	if err := json.Unmarshal(out.Bytes(), &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].Name != "BenchmarkCharacterizeParallel/workers=1-8" || recs[0].Iterations != 2 {
+		t.Fatalf("record[0] = %+v", recs[0])
+	}
+	if recs[0].Metrics["patterns/sec"] != 7380 || recs[1].Metrics["ns/op"] != 277127546 {
+		t.Fatalf("metrics wrong: %+v", recs)
+	}
+}
+
+func TestConvertEmptyInputFails(t *testing.T) {
+	for _, in := range []string{"", "PASS\nok  \thdpower\t0.1s\n", "goos: linux\n"} {
+		var out bytes.Buffer
+		err := convert(strings.NewReader(in), &out)
+		if err == nil {
+			t.Errorf("input %q: expected error, wrote %q", in, out.String())
+		}
+		if out.Len() != 0 {
+			t.Errorf("input %q: emitted partial output %q", in, out.String())
+		}
+	}
+}
+
+func TestConvertMissingMetricsFails(t *testing.T) {
+	cases := []string{
+		"BenchmarkX-8\t5\n",                 // iterations but no metrics
+		"BenchmarkX-8\t5\t123\n",            // value without unit
+		"BenchmarkX-8\t5\tfast ns/op\n",     // unparseable value
+		"BenchmarkX-8\t5\t1 ns/op\t99 \n\n", // trailing orphan value
+	}
+	for _, in := range cases {
+		var out bytes.Buffer
+		if err := convert(strings.NewReader(in), &out); err == nil {
+			t.Errorf("input %q: expected error, wrote %q", in, out.String())
+		}
+	}
+}
+
+func TestParseLineSkipsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"BenchmarkCharacterizeParallel/workers=1-8", // announce line
+		"Benchmarking the fast path...",             // log output
+		"ok  \thdpower\t2.5s",
+	} {
+		if rec, ok, err := parseLine(line); ok || err != nil {
+			t.Errorf("line %q: rec=%+v ok=%v err=%v", line, rec, ok, err)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Command hdserve runs the Hd power-estimation service: fitted macro-model
+// inference over HTTP with built-in Prometheus observability.
+//
+// Characterization is the expensive step; serving an estimate from a
+// fitted model is a table lookup. hdserve keeps fitted models in an LRU,
+// builds them asynchronously through the parallel characterization engine
+// (deduplicating concurrent requests for the same model), and answers
+// estimate requests in microseconds:
+//
+//	hdserve -addr :8080
+//	curl -s localhost:8080/v1/models/build -d '{"module":"csa-multiplier","width":8,"seed":1,"wait":true}'
+//	curl -s localhost:8080/v1/estimate -d '{"model":{"module":"csa-multiplier","width":8,"seed":1},"hd":[3,5,2]}'
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM starts a graceful shutdown: the listener stops, readiness
+// flips to 503, and in-flight model builds drain before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hdpower/internal/serve"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", ":8080", "listen address")
+		requestTimeout = flag.Duration("request-timeout", 15*time.Second, "per-request timeout")
+		buildTimeout   = flag.Duration("build-timeout", 10*time.Minute, "per-model-build timeout")
+		buildWorkers   = flag.Int("build-workers", 1, "concurrent model builds")
+		buildQueue     = flag.Int("build-queue", 16, "pending-build queue depth (full => 429)")
+		charWorkers    = flag.Int("char-workers", 0, "characterization workers per build (0 = NumCPU)")
+		modelCache     = flag.Int("model-cache", 64, "fitted-model LRU capacity")
+		maxBody        = flag.Int64("max-body", 1<<20, "request body cap in bytes")
+		shutdownGrace  = flag.Duration("shutdown-grace", 30*time.Second, "drain deadline on SIGTERM")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *requestTimeout,
+		BuildTimeout:   *buildTimeout,
+		BuildWorkers:   *buildWorkers,
+		BuildQueue:     *buildQueue,
+		ModelCache:     *modelCache,
+		CharWorkers:    *charWorkers,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("hdserve: listening on %s", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("hdserve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("hdserve: signal received, draining (grace %s)", *shutdownGrace)
+	graceCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	if err := hs.Shutdown(graceCtx); err != nil {
+		log.Printf("hdserve: http shutdown: %v", err)
+	}
+	if err := srv.Drain(graceCtx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("hdserve: %v", err)
+	}
+	srv.Close()
+	fmt.Println("hdserve: drained, bye")
+}

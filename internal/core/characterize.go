@@ -40,6 +40,47 @@ type CharacterizeOptions struct {
 	// accumulators are merged in shard order, so the fitted model is
 	// bit-identical for every worker count.
 	Workers int
+	// Hooks receives progress callbacks during the run; nil disables
+	// them. Callbacks never affect the fitted model.
+	Hooks *Hooks
+	// Interrupt, if non-nil, is polled at every merged shard boundary;
+	// the first non-nil error aborts the run and Characterize returns it.
+	// Serving layers use this to cancel an in-flight characterization
+	// when its request context expires or the process drains.
+	Interrupt func() error
+}
+
+// Hooks observes characterization progress. All fields are optional.
+// Callbacks run on the merging goroutine in deterministic shard order, so
+// implementations need no internal ordering, only thread-safety against
+// other runs.
+type Hooks struct {
+	// PatternsSimulated fires after each shard is merged with the
+	// shard's pattern count.
+	PatternsSimulated func(n int)
+	// ShardMerged fires once per merged shard.
+	ShardMerged func()
+	// EarlyStop fires when the convergence check ends the run before the
+	// full pattern budget, with the patterns actually consumed.
+	EarlyStop func(patternsUsed int)
+}
+
+func (h *Hooks) patterns(n int) {
+	if h != nil && h.PatternsSimulated != nil {
+		h.PatternsSimulated(n)
+	}
+}
+
+func (h *Hooks) shardMerged() {
+	if h != nil && h.ShardMerged != nil {
+		h.ShardMerged()
+	}
+}
+
+func (h *Hooks) earlyStop(patternsUsed int) {
+	if h != nil && h.EarlyStop != nil {
+		h.EarlyStop(patternsUsed)
+	}
 }
 
 func (o *CharacterizeOptions) setDefaults() {
@@ -341,6 +382,7 @@ func Characterize(meter *power.Meter, moduleName string, opt CharacterizeOptions
 	// the early-stop point is worker-count-independent.
 	conv := newConvTracker(m, opt.ConvergeTol, opt.CheckEvery)
 	patternsUsed := 0
+	var interrupted error
 	usedShards := runShardsOrdered(len(plan), workers,
 		func(w, idx int) *charPartial {
 			return runCharShard(meters[w], model, plan[idx], opt.Seed, false, opt.Enhanced)
@@ -353,8 +395,23 @@ func Characterize(meter *power.Meter, moduleName string, opt CharacterizeOptions
 				mergeEnhanced(enhanced, part.enhanced)
 			}
 			patternsUsed += part.patterns
-			return !conv.stop(basic, patternsUsed)
+			opt.Hooks.patterns(part.patterns)
+			opt.Hooks.shardMerged()
+			if opt.Interrupt != nil {
+				if err := opt.Interrupt(); err != nil {
+					interrupted = err
+					return false
+				}
+			}
+			if conv.stop(basic, patternsUsed) {
+				opt.Hooks.earlyStop(patternsUsed)
+				return false
+			}
+			return true
 		})
+	if interrupted != nil {
+		return nil, fmt.Errorf("core: characterization of %s interrupted: %w", moduleName, interrupted)
+	}
 
 	// Phase 2 for the enhanced table: density-stratified pairs populate
 	// the extreme stable-zero classes that uniform vectors almost never
@@ -369,8 +426,19 @@ func Characterize(meter *power.Meter, moduleName string, opt CharacterizeOptions
 			},
 			func(idx int, part *charPartial) bool {
 				mergeEnhanced(enhanced, part.enhanced)
+				opt.Hooks.patterns(part.patterns)
+				opt.Hooks.shardMerged()
+				if opt.Interrupt != nil {
+					if err := opt.Interrupt(); err != nil {
+						interrupted = err
+						return false
+					}
+				}
 				return true
 			})
+		if interrupted != nil {
+			return nil, fmt.Errorf("core: characterization of %s interrupted: %w", moduleName, interrupted)
+		}
 	}
 
 	for k := range basic {

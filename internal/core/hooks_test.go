@@ -1,0 +1,100 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestHooksObserveRun verifies the observability callbacks fire with
+// totals consistent with the run: patterns sum to the budget, shard counts
+// match the plan, and no early stop is reported without convergence.
+func TestHooksObserveRun(t *testing.T) {
+	meter := meterFor(t, "ripple-adder", 4)
+	patterns, shards, earlyStops := 0, 0, 0
+	hooks := &Hooks{
+		PatternsSimulated: func(n int) { patterns += n },
+		ShardMerged:       func() { shards++ },
+		EarlyStop:         func(int) { earlyStops++ },
+	}
+	const budget = 600
+	if _, err := Characterize(meter, "hooked", CharacterizeOptions{
+		Patterns: budget, Seed: 3, Workers: 2, Hooks: hooks,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if patterns != budget {
+		t.Errorf("hooks saw %d patterns, want %d", patterns, budget)
+	}
+	if want := len(shardPlan(budget)); shards != want {
+		t.Errorf("hooks saw %d shards, want %d", shards, want)
+	}
+	if earlyStops != 0 {
+		t.Errorf("unexpected early stop report")
+	}
+}
+
+// TestHooksEarlyStop verifies EarlyStop fires when convergence ends the
+// run before the budget, and that the reported pattern count matches what
+// PatternsSimulated accumulated.
+func TestHooksEarlyStop(t *testing.T) {
+	meter := meterFor(t, "ripple-adder", 2)
+	patterns, stopAt := 0, 0
+	hooks := &Hooks{
+		PatternsSimulated: func(n int) { patterns += n },
+		EarlyStop:         func(used int) { stopAt = used },
+	}
+	if _, err := Characterize(meter, "hooked", CharacterizeOptions{
+		Patterns: 20000, Seed: 1, Workers: 1,
+		ConvergeTol: 0.5, CheckEvery: 200, Hooks: hooks,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if stopAt == 0 {
+		t.Fatalf("loose tolerance did not trigger an early stop")
+	}
+	if stopAt != patterns {
+		t.Errorf("EarlyStop reported %d patterns, hooks accumulated %d", stopAt, patterns)
+	}
+	if patterns >= 20000 {
+		t.Errorf("early stop consumed the whole budget (%d)", patterns)
+	}
+}
+
+// TestInterruptAbortsRun verifies the Interrupt poll cancels a run at a
+// shard boundary and surfaces the cause, for every worker mode.
+func TestInterruptAbortsRun(t *testing.T) {
+	cause := errors.New("deadline exceeded")
+	for _, workers := range []int{1, 4} {
+		meter := meterFor(t, "ripple-adder", 4)
+		merged := 0
+		_, err := Characterize(meter, "interrupted", CharacterizeOptions{
+			Patterns: 2000, Seed: 1, Workers: workers,
+			Hooks: &Hooks{ShardMerged: func() { merged++ }},
+			Interrupt: func() error {
+				if merged >= 2 {
+					return cause
+				}
+				return nil
+			},
+		})
+		if !errors.Is(err, cause) {
+			t.Fatalf("workers=%d: err = %v, want wrapped %v", workers, err, cause)
+		}
+		if merged > 3 {
+			t.Errorf("workers=%d: run continued for %d shards after interrupt", workers, merged)
+		}
+	}
+}
+
+// TestInterruptNilIsNoop pins that runs without an Interrupt behave as
+// before (guards the nil-check fast path).
+func TestInterruptNilIsNoop(t *testing.T) {
+	meter := meterFor(t, "incrementer", 3)
+	model, err := Characterize(meter, "plain", CharacterizeOptions{Patterns: 300, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,366 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"hdpower/internal/core"
+	"hdpower/internal/hddist"
+	"hdpower/internal/logic"
+	"hdpower/internal/stats"
+)
+
+// maxBatchCycles bounds one estimate request; combined with the body cap
+// it keeps a single request from monopolizing a handler goroutine.
+const maxBatchCycles = 1 << 20
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// readJSON decodes a request body, translating decode failures into the
+// right status: 413 for an oversized body, 400 for malformed JSON.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// lookupModel fetches a ready model for a spec, answering 400/404
+// directly on failure.
+func (s *Server) lookupModel(w http.ResponseWriter, spec *BuildSpec) (*core.Model, bool) {
+	if err := spec.normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, "model spec: %v", err)
+		return nil, false
+	}
+	model, ok := s.cache.ready(spec.Key())
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			"model %s not built; POST /v1/models/build first", spec.Key())
+		return nil, false
+	}
+	s.met.cacheHits.Inc()
+	return model, true
+}
+
+type estimateRequest struct {
+	Model BuildSpec `json:"model"`
+	// Hd estimates directly from per-cycle Hamming-distance classes,
+	// optionally refined by StableZeros (enhanced models).
+	Hd          []int `json:"hd,omitempty"`
+	StableZeros []int `json:"stable_zeros,omitempty"`
+	// Words estimates a batched vector stream: the full input vectors of
+	// consecutive cycles, low bits first, at most 64 input bits.
+	Words []uint64 `json:"words,omitempty"`
+}
+
+type estimateResponse struct {
+	Key       string    `json:"key"`
+	Cycles    int       `json:"cycles"`
+	Enhanced  bool      `json:"enhanced"`
+	Estimates []float64 `json:"estimates"`
+	Total     float64   `json:"total"`
+	Mean      float64   `json:"mean"`
+}
+
+// handleEstimate is the fast path: per-cycle charge from the fitted
+// coefficient table, microseconds per lookup, no simulation.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req estimateRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	model, ok := s.lookupModel(w, &req.Model)
+	if !ok {
+		return
+	}
+	m := model.InputBits
+
+	var est []float64
+	var enhanced bool
+	switch {
+	case len(req.Words) > 0 && len(req.Hd) > 0:
+		writeError(w, http.StatusBadRequest, "pass either hd or words, not both")
+		return
+	case len(req.Words) > 0:
+		if len(req.Words) < 2 {
+			writeError(w, http.StatusBadRequest, "words mode needs >= 2 vectors")
+			return
+		}
+		if len(req.Words) > maxBatchCycles {
+			writeError(w, http.StatusBadRequest, "batch exceeds %d vectors", maxBatchCycles)
+			return
+		}
+		if m > 64 {
+			writeError(w, http.StatusBadRequest,
+				"words mode supports <= 64 input bits, model has %d; use hd mode", m)
+			return
+		}
+		words := make([]logic.Word, len(req.Words))
+		for i, v := range req.Words {
+			if m < 64 && v>>uint(m) != 0 {
+				writeError(w, http.StatusBadRequest,
+					"word %d (%#x) does not fit the model's %d input bits", i, v, m)
+				return
+			}
+			words[i] = logic.FromUint(v, m)
+		}
+		enhanced = model.HasEnhanced()
+		est = make([]float64, len(words)-1)
+		for i := 1; i < len(words); i++ {
+			hd := logic.Hd(words[i-1], words[i])
+			if enhanced {
+				est[i-1] = model.PEnhanced(hd, logic.StableZeros(words[i-1], words[i]))
+			} else {
+				est[i-1] = model.P(hd)
+			}
+		}
+	case len(req.Hd) > 0:
+		if len(req.Hd) > maxBatchCycles {
+			writeError(w, http.StatusBadRequest, "batch exceeds %d cycles", maxBatchCycles)
+			return
+		}
+		for i, hd := range req.Hd {
+			if hd < 0 || hd > m {
+				writeError(w, http.StatusBadRequest, "hd[%d] = %d outside [0, %d]", i, hd, m)
+				return
+			}
+		}
+		if len(req.StableZeros) > 0 {
+			if len(req.StableZeros) != len(req.Hd) {
+				writeError(w, http.StatusBadRequest,
+					"stable_zeros length %d != hd length %d", len(req.StableZeros), len(req.Hd))
+				return
+			}
+			for i, z := range req.StableZeros {
+				if z < 0 || z > m-req.Hd[i] {
+					writeError(w, http.StatusBadRequest,
+						"stable_zeros[%d] = %d outside [0, %d] for hd %d", i, z, m-req.Hd[i], req.Hd[i])
+					return
+				}
+			}
+			var err error
+			est, err = model.EstimateEnhanced(req.Hd, req.StableZeros)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			enhanced = model.HasEnhanced()
+		} else {
+			est = model.EstimateBasic(req.Hd)
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "pass hd classes or a words vector stream")
+		return
+	}
+
+	var total float64
+	for _, q := range est {
+		total += q
+	}
+	mean := 0.0
+	if len(est) > 0 {
+		mean = total / float64(len(est))
+	}
+	s.met.estCycles.Add(int64(len(est)))
+	writeJSON(w, http.StatusOK, estimateResponse{
+		Key:       req.Model.Key(),
+		Cycles:    len(est),
+		Enhanced:  enhanced,
+		Estimates: est,
+		Total:     total,
+		Mean:      mean,
+	})
+}
+
+type statsRequest struct {
+	Model BuildSpec `json:"model"`
+	// Word-level statistics of the per-port stream (paper Section 6).
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Rho  float64 `json:"rho"`
+	// N is the nominal sample count behind the statistics (default 1024).
+	N int `json:"n,omitempty"`
+	// Width is the per-port word width of the stream.
+	Width int `json:"width"`
+	// Ports is the number of module ports fed by independent streams with
+	// these statistics; defaults to input_bits / width.
+	Ports int `json:"ports,omitempty"`
+}
+
+type statsResponse struct {
+	Key       string      `json:"key"`
+	AvgCharge float64     `json:"avg_charge"`
+	AvgHd     float64     `json:"avg_hd"`
+	Dist      hddist.Dist `json:"hd_dist"`
+}
+
+// handleEstimateStats is the closed-form path: no vectors ever cross the
+// wire — word-level statistics (μ, σ, ρ) turn into an analytic
+// Hamming-distance distribution (dual-bit-type model, eqs. 12–18), which
+// the fitted coefficient table integrates into an average charge.
+func (s *Server) handleEstimateStats(w http.ResponseWriter, r *http.Request) {
+	var req statsRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	model, ok := s.lookupModel(w, &req.Model)
+	if !ok {
+		return
+	}
+	m := model.InputBits
+	if req.Width <= 0 || req.Width > m {
+		writeError(w, http.StatusBadRequest, "width %d outside (0, %d]", req.Width, m)
+		return
+	}
+	if req.Std <= 0 {
+		writeError(w, http.StatusBadRequest, "std must be positive (constant streams switch nothing)")
+		return
+	}
+	if req.Rho < -1 || req.Rho > 1 {
+		writeError(w, http.StatusBadRequest, "rho %v outside [-1, 1]", req.Rho)
+		return
+	}
+	if req.N == 0 {
+		req.N = 1024
+	}
+	if req.Ports == 0 {
+		req.Ports = m / req.Width
+	}
+	if req.Ports <= 0 || req.Ports*req.Width != m {
+		writeError(w, http.StatusBadRequest,
+			"ports (%d) x width (%d) must equal the model's %d input bits", req.Ports, req.Width, m)
+		return
+	}
+
+	ws := stats.WordStats{N: req.N, Mean: req.Mean, Std: req.Std, Rho: req.Rho}
+	port := hddist.FromWordStats(ws, req.Width)
+	dist := port
+	for p := 1; p < req.Ports; p++ {
+		dist = hddist.Convolve(dist, port)
+	}
+	avg, err := model.AvgFromDist(dist)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, statsResponse{
+		Key:       req.Model.Key(),
+		AvgCharge: avg,
+		AvgHd:     dist.Mean(),
+		Dist:      dist,
+	})
+}
+
+type modelsResponse struct {
+	Models []modelSnapshot `json:"models"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, modelsResponse{Models: s.cache.snapshot()})
+}
+
+type buildRequest struct {
+	BuildSpec
+	// Wait blocks until the build settles (bounded by the request
+	// timeout) instead of returning 202 immediately.
+	Wait bool `json:"wait,omitempty"`
+}
+
+type buildResponse struct {
+	Key    string `json:"key"`
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+// handleModelBuild is the slow path: characterize+fit through the
+// parallel engine, deduplicated by singleflight, bounded by the build
+// queue (429 when saturated), cached in the LRU.
+func (s *Server) handleModelBuild(w http.ResponseWriter, r *http.Request) {
+	var req buildRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if err := req.normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, "build spec: %v", err)
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining; not accepting new builds")
+		return
+	}
+	ent, started := s.cache.begin(req.BuildSpec)
+	if started {
+		s.buildWG.Add(1)
+		select {
+		case s.queue <- ent:
+			s.met.queueDepth.Add(1)
+		default:
+			s.buildWG.Done()
+			s.cache.abandon(ent)
+			s.met.queueRejected.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "build queue full; retry later")
+			return
+		}
+	} else if status := s.entryStatus(ent); status == statusReady {
+		s.met.cacheHits.Inc()
+		writeJSON(w, http.StatusOK, buildResponse{Key: ent.key, Status: statusReady})
+		return
+	} else {
+		s.met.buildsDeduped.Inc()
+	}
+	if !req.Wait {
+		writeJSON(w, http.StatusAccepted, buildResponse{Key: ent.key, Status: statusBuilding})
+		return
+	}
+	select {
+	case <-ent.done:
+	case <-r.Context().Done():
+		writeError(w, http.StatusGatewayTimeout, "build %s still running: %v", ent.key, r.Context().Err())
+		return
+	}
+	status, buildErr := s.entryResult(ent)
+	if status == statusFailed {
+		writeJSON(w, http.StatusInternalServerError,
+			buildResponse{Key: ent.key, Status: statusFailed, Error: buildErr.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, buildResponse{Key: ent.key, Status: status})
+}
+
+func (s *Server) entryStatus(ent *buildEntry) string {
+	s.cache.mu.Lock()
+	defer s.cache.mu.Unlock()
+	return ent.status
+}
+
+func (s *Server) entryResult(ent *buildEntry) (string, error) {
+	s.cache.mu.Lock()
+	defer s.cache.mu.Unlock()
+	return ent.status, ent.err
+}

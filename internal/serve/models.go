@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+
+	"hdpower/internal/core"
+	"hdpower/internal/dwlib"
+	"hdpower/internal/power"
+	"hdpower/internal/sim"
+)
+
+// Build bounds. Width is the operand width per port, so the total input
+// vector is at most 2*maxBuildWidth bits; the cap keeps a single request
+// from scheduling an hours-long characterization.
+const (
+	maxBuildWidth    = 32
+	maxBuildPatterns = 200000
+	defaultPatterns  = 5000
+)
+
+// BuildSpec identifies one fitted model. Module, Width and Seed form the
+// cache key (characterization is deterministic in them for a fixed
+// pattern budget); the remaining fields shape the fit.
+type BuildSpec struct {
+	// Module is a catalog generator name, e.g. "csa-multiplier".
+	Module string `json:"module"`
+	// Width is the operand width per port.
+	Width int `json:"width"`
+	// Seed seeds the deterministic characterization stream.
+	Seed int64 `json:"seed"`
+	// Patterns is the characterization budget (default 5000).
+	Patterns int `json:"patterns,omitempty"`
+	// Enhanced additionally fits the stable-zero refined table.
+	Enhanced bool `json:"enhanced,omitempty"`
+	// ZClusters clusters the stable-zero axis (0 = full resolution).
+	ZClusters int `json:"z_clusters,omitempty"`
+}
+
+// normalize applies defaults and validates against the catalog.
+func (b *BuildSpec) normalize() error {
+	mod, err := dwlib.Lookup(b.Module)
+	if err != nil {
+		return err
+	}
+	if b.Width < mod.MinWidth {
+		return fmt.Errorf("module %s requires width >= %d, got %d", b.Module, mod.MinWidth, b.Width)
+	}
+	if b.Width > maxBuildWidth {
+		return fmt.Errorf("width %d exceeds the serving cap %d", b.Width, maxBuildWidth)
+	}
+	if b.Patterns == 0 {
+		b.Patterns = defaultPatterns
+	}
+	if b.Patterns < 0 || b.Patterns > maxBuildPatterns {
+		return fmt.Errorf("patterns %d outside (0, %d]", b.Patterns, maxBuildPatterns)
+	}
+	if b.ZClusters < 0 {
+		return fmt.Errorf("z_clusters %d is negative", b.ZClusters)
+	}
+	return nil
+}
+
+// Key is the model cache key.
+func (b BuildSpec) Key() string {
+	return fmt.Sprintf("%s/w%d/s%d", b.Module, b.Width, b.Seed)
+}
+
+// Build lifecycle states.
+const (
+	statusBuilding = "building"
+	statusReady    = "ready"
+	statusFailed   = "failed"
+)
+
+// buildEntry is one singleflight slot: every request for the same key
+// shares it, and done closes exactly once when the build settles.
+type buildEntry struct {
+	spec BuildSpec
+	key  string
+	done chan struct{}
+
+	// Guarded by the owning cache's mutex.
+	status string
+	model  *core.Model
+	err    error
+}
+
+// modelSnapshot is the externally visible state of one entry.
+type modelSnapshot struct {
+	Key           string    `json:"key"`
+	Spec          BuildSpec `json:"spec"`
+	Status        string    `json:"status"`
+	Error         string    `json:"error,omitempty"`
+	InputBits     int       `json:"input_bits,omitempty"`
+	BasicCoefs    int       `json:"basic_coefficients,omitempty"`
+	EnhancedCoefs int       `json:"enhanced_coefficients,omitempty"`
+}
+
+// modelCache is the fitted-model LRU plus the singleflight table for
+// in-flight builds. Only ready models count against the capacity;
+// building entries are bounded by the build queue.
+type modelCache struct {
+	mu       sync.Mutex
+	capacity int
+	met      *metrics
+	entries  map[string]*buildEntry
+	order    *list.List // ready keys, MRU at front
+	elems    map[string]*list.Element
+}
+
+func newModelCache(capacity int, met *metrics) *modelCache {
+	return &modelCache{
+		capacity: capacity,
+		met:      met,
+		entries:  make(map[string]*buildEntry),
+		order:    list.New(),
+		elems:    make(map[string]*list.Element),
+	}
+}
+
+// ready returns the fitted model for key if present, refreshing its LRU
+// position.
+func (c *modelCache) ready(key string) (*core.Model, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ent, ok := c.entries[key]
+	if !ok || ent.status != statusReady {
+		return nil, false
+	}
+	c.order.MoveToFront(c.elems[key])
+	return ent.model, true
+}
+
+// begin implements the singleflight: it returns the entry for spec's key
+// and whether the caller owns a brand-new build (and must enqueue it).
+// A failed entry is replaced so clients can retry.
+func (c *modelCache) begin(spec BuildSpec) (ent *buildEntry, started bool) {
+	key := spec.Key()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ent, ok := c.entries[key]; ok && ent.status != statusFailed {
+		if ent.status == statusReady {
+			c.order.MoveToFront(c.elems[key])
+		}
+		return ent, false
+	}
+	ent = &buildEntry{spec: spec, key: key, status: statusBuilding, done: make(chan struct{})}
+	c.entries[key] = ent
+	return ent, true
+}
+
+// abandon removes a just-begun entry that could not be enqueued (queue
+// full), so later requests retry instead of waiting forever.
+func (c *modelCache) abandon(ent *buildEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries[ent.key] == ent {
+		delete(c.entries, ent.key)
+	}
+}
+
+// complete settles a build, publishes the result, and evicts beyond the
+// LRU capacity.
+func (c *modelCache) complete(ent *buildEntry, model *core.Model, err error) {
+	c.mu.Lock()
+	if err != nil {
+		ent.status = statusFailed
+		ent.err = err
+	} else {
+		ent.status = statusReady
+		ent.model = model
+		c.elems[ent.key] = c.order.PushFront(ent.key)
+		for c.order.Len() > c.capacity {
+			oldest := c.order.Back()
+			key := oldest.Value.(string)
+			c.order.Remove(oldest)
+			delete(c.elems, key)
+			delete(c.entries, key)
+			c.met.cacheEvicted.Inc()
+		}
+	}
+	c.mu.Unlock()
+	close(ent.done)
+}
+
+// snapshot lists every entry, ready models in MRU order first, then
+// building/failed ones.
+func (c *modelCache) snapshot() []modelSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]modelSnapshot, 0, len(c.entries))
+	for e := c.order.Front(); e != nil; e = e.Next() {
+		out = append(out, c.entrySnapshot(c.entries[e.Value.(string)]))
+	}
+	for _, ent := range c.entries {
+		if ent.status != statusReady {
+			out = append(out, c.entrySnapshot(ent))
+		}
+	}
+	return out
+}
+
+func (c *modelCache) entrySnapshot(ent *buildEntry) modelSnapshot {
+	snap := modelSnapshot{Key: ent.key, Spec: ent.spec, Status: ent.status}
+	if ent.err != nil {
+		snap.Error = ent.err.Error()
+	}
+	if ent.model != nil {
+		snap.InputBits = ent.model.InputBits
+		snap.BasicCoefs, snap.EnhancedCoefs = ent.model.NumCoefficients()
+	}
+	return snap
+}
+
+// characterize is the real build backend: generate the netlist, wrap it
+// in the reference charge meter, and run the parallel characterization
+// engine with the server's observability hooks and the build context as
+// the interrupt source.
+func (s *Server) characterize(ctx context.Context, spec BuildSpec, hooks *core.Hooks) (*core.Model, error) {
+	mod, err := dwlib.Lookup(spec.Module)
+	if err != nil {
+		return nil, err
+	}
+	nl := mod.Build(spec.Width)
+	if err := nl.Finalize(); err != nil {
+		return nil, err
+	}
+	meter, err := power.NewMeter(nl, sim.EventDriven)
+	if err != nil {
+		return nil, err
+	}
+	return core.Characterize(meter, fmt.Sprintf("%s-w%d", spec.Module, spec.Width), core.CharacterizeOptions{
+		Patterns:  spec.Patterns,
+		Seed:      spec.Seed,
+		Enhanced:  spec.Enhanced,
+		ZClusters: spec.ZClusters,
+		Workers:   s.cfg.CharWorkers,
+		Hooks:     hooks,
+		Interrupt: func() error { return ctx.Err() },
+	})
+}

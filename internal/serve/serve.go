@@ -1,0 +1,341 @@
+// Package serve is the HTTP front-end of the Hd power macro-model: a
+// JSON API that separates slow characterization (model builds through the
+// parallel engine, deduplicated and cached) from fast evaluation
+// (per-cycle table lookups and the closed-form word-statistics estimator),
+// the split the paper's Sections 4–6 make possible. The server is built
+// for unattended operation: per-request timeouts, a bounded build queue
+// with 429 backpressure, request body caps, panic recovery, Prometheus
+// metrics via internal/obs, and a graceful drain that lets in-flight
+// builds finish.
+//
+// Endpoints:
+//
+//	POST /v1/estimate        per-cycle estimates from Hd classes or vectors
+//	POST /v1/estimate/stats  closed-form average from (μ, σ, ρ, width)
+//	GET  /v1/models          cached / in-flight model inventory
+//	POST /v1/models/build    async characterize+fit (singleflight, LRU)
+//	GET  /healthz            liveness
+//	GET  /readyz             readiness (503 while draining)
+//	GET  /metrics            Prometheus text exposition
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdpower/internal/core"
+	"hdpower/internal/obs"
+)
+
+// Config tunes the server. Zero values select the documented defaults.
+type Config struct {
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// RequestTimeout bounds each request's context (default 15s).
+	RequestTimeout time.Duration
+	// BuildTimeout bounds one model build (default 10m).
+	BuildTimeout time.Duration
+	// BuildWorkers sizes the build worker pool (default 1: builds are
+	// CPU-bound and internally parallel via CharWorkers).
+	BuildWorkers int
+	// BuildQueue bounds the pending-build queue; a full queue answers
+	// 429 (default 16).
+	BuildQueue int
+	// ModelCache is the LRU capacity in fitted models (default 64).
+	ModelCache int
+	// CharWorkers is passed to core.Characterize (0 = NumCPU).
+	CharWorkers int
+	// BuildFunc overrides the characterization backend; tests inject
+	// slow or failing builds here. nil selects the real engine.
+	BuildFunc func(ctx context.Context, spec BuildSpec, hooks *core.Hooks) (*core.Model, error)
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 15 * time.Second
+	}
+	if c.BuildTimeout <= 0 {
+		c.BuildTimeout = 10 * time.Minute
+	}
+	if c.BuildWorkers <= 0 {
+		c.BuildWorkers = 1
+	}
+	if c.BuildQueue <= 0 {
+		c.BuildQueue = 16
+	}
+	if c.ModelCache <= 0 {
+		c.ModelCache = 64
+	}
+}
+
+// metrics bundles every instrument the server exports.
+type metrics struct {
+	reg *obs.Registry
+
+	inflight      *obs.Gauge
+	panics        *obs.Counter
+	buildsRun     *obs.Counter
+	buildsFailed  *obs.Counter
+	buildsDeduped *obs.Counter
+	cacheHits     *obs.Counter
+	cacheEvicted  *obs.Counter
+	queueDepth    *obs.Gauge
+	queueRejected *obs.Counter
+	buildSeconds  *obs.Histogram
+	estCycles     *obs.Counter
+
+	charPatterns   *obs.Counter
+	charShards     *obs.Counter
+	charEarlyStops *obs.Counter
+}
+
+func newMetrics() *metrics {
+	reg := obs.NewRegistry()
+	return &metrics{
+		reg:           reg,
+		inflight:      reg.Gauge("hdserve_inflight_requests", "HTTP requests currently being served"),
+		panics:        reg.Counter("hdserve_panics_total", "handler panics recovered"),
+		buildsRun:     reg.Counter("hdserve_model_builds_total", "model builds executed (post-singleflight)"),
+		buildsFailed:  reg.Counter("hdserve_model_build_failures_total", "model builds that returned an error"),
+		buildsDeduped: reg.Counter("hdserve_model_build_dedup_total", "build requests coalesced onto an in-flight build"),
+		cacheHits:     reg.Counter("hdserve_model_cache_hits_total", "build or estimate requests served from the model cache"),
+		cacheEvicted:  reg.Counter("hdserve_model_cache_evictions_total", "fitted models evicted by the LRU"),
+		queueDepth:    reg.Gauge("hdserve_build_queue_depth", "builds waiting for a worker"),
+		queueRejected: reg.Counter("hdserve_build_queue_rejected_total", "build requests rejected with 429 (queue full)"),
+		buildSeconds:  reg.Histogram("hdserve_model_build_seconds", "model build latency", nil),
+		estCycles:     reg.Counter("hdserve_estimate_cycles_total", "cycles estimated across all estimate requests"),
+
+		charPatterns:   reg.Counter("hdserve_char_patterns_total", "characterization pairs simulated"),
+		charShards:     reg.Counter("hdserve_char_shards_merged_total", "characterization shards merged"),
+		charEarlyStops: reg.Counter("hdserve_char_early_stops_total", "characterization runs ended early by convergence"),
+	}
+}
+
+func (m *metrics) request(path string, code int) *obs.Counter {
+	return m.reg.CounterL("hdserve_requests_total", "HTTP requests by route and status code",
+		[]obs.Label{{Key: "path", Value: path}, {Key: "code", Value: strconv.Itoa(code)}})
+}
+
+func (m *metrics) latency(path string) *obs.Histogram {
+	return m.reg.HistogramL("hdserve_request_seconds", "HTTP request latency by route",
+		obs.L("path", path), nil)
+}
+
+// Server is one hdserve instance.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	met   *metrics
+	cache *modelCache
+	hooks *core.Hooks
+
+	queue     chan *buildEntry
+	buildWG   sync.WaitGroup // queued + running builds
+	workerWG  sync.WaitGroup // worker goroutines
+	quit      chan struct{}
+	closeOnce sync.Once
+	draining  atomic.Bool
+
+	buildFn func(ctx context.Context, spec BuildSpec, hooks *core.Hooks) (*core.Model, error)
+}
+
+// New constructs a server and starts its build worker pool. Callers must
+// Close it (after an optional Drain) to stop the workers.
+func New(cfg Config) *Server {
+	cfg.setDefaults()
+	met := newMetrics()
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		met:   met,
+		cache: newModelCache(cfg.ModelCache, met),
+		queue: make(chan *buildEntry, cfg.BuildQueue),
+		quit:  make(chan struct{}),
+	}
+	s.hooks = &core.Hooks{
+		PatternsSimulated: func(n int) { met.charPatterns.Add(int64(n)) },
+		ShardMerged:       func() { met.charShards.Inc() },
+		EarlyStop:         func(int) { met.charEarlyStops.Inc() },
+	}
+	s.buildFn = cfg.BuildFunc
+	if s.buildFn == nil {
+		s.buildFn = s.characterize
+	}
+
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /readyz", s.handleReadyz)
+	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("POST /v1/estimate", s.handleEstimate)
+	s.handle("POST /v1/estimate/stats", s.handleEstimateStats)
+	s.handle("GET /v1/models", s.handleModels)
+	s.handle("POST /v1/models/build", s.handleModelBuild)
+
+	for w := 0; w < cfg.BuildWorkers; w++ {
+		s.workerWG.Add(1)
+		go s.buildWorker()
+	}
+	return s
+}
+
+// Handler returns the fully wrapped HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the metrics registry (tests and embedders).
+func (s *Server) Registry() *obs.Registry { return s.met.reg }
+
+// handle registers a route behind the standard middleware stack. The
+// route pattern doubles as the metric label, keeping cardinality fixed.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.Handle(pattern, s.wrap(pattern, h))
+}
+
+// statusWriter records the response code for metrics and panic recovery.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// wrap applies panic recovery, per-request timeout, the body size cap,
+// and request metrics to a handler.
+func (s *Server) wrap(pattern string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.met.inflight.Add(1)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				s.met.panics.Inc()
+				fmt.Fprintf(os.Stderr, "hdserve: panic in %s: %v\n%s", pattern, p, debug.Stack())
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, "internal error")
+				} else {
+					sw.code = http.StatusInternalServerError
+				}
+			}
+			s.met.inflight.Add(-1)
+			s.met.request(pattern, sw.code).Inc()
+			s.met.latency(pattern).Observe(time.Since(start).Seconds())
+		}()
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		h(sw, r.WithContext(ctx))
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.met.reg.WritePrometheus(w); err != nil {
+		// Headers are gone; nothing to do but record it.
+		fmt.Fprintf(os.Stderr, "hdserve: metrics write: %v\n", err)
+	}
+}
+
+// Drain flips readiness, refuses new builds, and waits until every queued
+// and running build has completed (or ctx expires). It is the first half
+// of graceful shutdown; pair it with Close.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.buildWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+}
+
+// errServerClosed fails builds still queued when the pool stops.
+var errServerClosed = errors.New("serve: server closed")
+
+// Close stops the worker pool and fails any builds still in the queue so
+// their waiters unblock. Call Drain first for a graceful stop.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.quit) })
+	s.workerWG.Wait()
+	for {
+		select {
+		case ent := <-s.queue:
+			s.met.queueDepth.Add(-1)
+			s.cache.complete(ent, nil, errServerClosed)
+			s.buildWG.Done()
+		default:
+			return
+		}
+	}
+}
+
+// buildWorker consumes the build queue until Close.
+func (s *Server) buildWorker() {
+	defer s.workerWG.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case ent := <-s.queue:
+			s.met.queueDepth.Add(-1)
+			s.runBuild(ent)
+			s.buildWG.Done()
+		}
+	}
+}
+
+// runBuild executes one deduplicated model build.
+func (s *Server) runBuild(ent *buildEntry) {
+	s.met.buildsRun.Inc()
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.BuildTimeout)
+	defer cancel()
+	model, err := s.buildFn(ctx, ent.spec, s.hooks)
+	s.met.buildSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		s.met.buildsFailed.Inc()
+		model = nil
+	}
+	s.cache.complete(ent, model, err)
+}
