@@ -13,10 +13,11 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent packages (characterization
-# engine, simulator clones, experiment suite, serving layer + metrics).
+# engine, simulator clones, experiment suite, serving layer, metrics +
+# tracing, and the public API surface).
 race:
 	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/power/... \
-		./internal/experiments/... ./internal/serve/... ./internal/obs/...
+		./internal/experiments/... ./internal/serve/... ./internal/obs/... .
 
 # Coverage profiles with enforced floors on internal/core and
 # internal/sim; CI publishes the profiles as artifacts.

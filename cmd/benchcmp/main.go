@@ -21,10 +21,12 @@ import (
 	"strings"
 )
 
-// record mirrors cmd/benchjson's output schema.
+// record mirrors cmd/benchjson's output schema. NumCPU is 0 in baselines
+// written before the field existed.
 type record struct {
 	Name       string             `json:"name"`
 	Iterations int64              `json:"iterations"`
+	NumCPU     int                `json:"num_cpu"`
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
@@ -85,11 +87,34 @@ func run(out io.Writer, oldPath, newPath, metric string, maxRegress, minScale fl
 	if err != nil {
 		return nil, err
 	}
+	if oc, nc := hostCPUs(oldRecs), hostCPUs(newRecs); oc > 0 || nc > 0 {
+		fmt.Fprintf(out, "host cpus: baseline %s, new run %s\n", cpuLabel(oc), cpuLabel(nc))
+		if oc > 0 && nc > 0 && oc != nc {
+			fmt.Fprintf(out, "note: core counts differ; absolute throughput deltas reflect hardware, not code\n")
+		}
+	}
 	failures := compare(out, oldRecs, newRecs, metric, maxRegress)
 	if minScale > 0 {
 		failures = append(failures, checkScaling(out, newRecs, metric, minScale, scaleBase, scaleTarget)...)
 	}
 	return failures, nil
+}
+
+// hostCPUs returns the CPU count stamped in a record set (0 if absent).
+func hostCPUs(recs []record) int {
+	for _, r := range recs {
+		if r.NumCPU > 0 {
+			return r.NumCPU
+		}
+	}
+	return 0
+}
+
+func cpuLabel(n int) string {
+	if n <= 0 {
+		return "unknown"
+	}
+	return fmt.Sprintf("%d", n)
 }
 
 // compare gates every baseline benchmark's metric against the fresh run.

@@ -16,14 +16,20 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
 
 type record struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// NumCPU is the host's logical CPU count at conversion time, stamped
+	// so a baseline records the hardware it was measured on — comparing
+	// scaling ratios across hosts with different core counts is
+	// meaningless, and this makes the mismatch visible.
+	NumCPU  int                `json:"num_cpu"`
+	Metrics map[string]float64 `json:"metrics"`
 }
 
 func main() {
@@ -47,6 +53,7 @@ func convert(in io.Reader, out io.Writer) error {
 			return fmt.Errorf("stdin line %d: %w", lineNo, err)
 		}
 		if ok {
+			rec.NumCPU = runtime.NumCPU()
 			recs = append(recs, rec)
 		}
 	}

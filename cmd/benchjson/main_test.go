@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -34,6 +35,11 @@ func TestConvertValid(t *testing.T) {
 	}
 	if recs[0].Metrics["patterns/sec"] != 7380 || recs[1].Metrics["ns/op"] != 277127546 {
 		t.Fatalf("metrics wrong: %+v", recs)
+	}
+	for i, r := range recs {
+		if r.NumCPU != runtime.NumCPU() {
+			t.Errorf("record[%d] num_cpu = %d, want %d", i, r.NumCPU, runtime.NumCPU())
+		}
 	}
 }
 

@@ -18,7 +18,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
+	"math"
 	"os"
+	"path/filepath"
 
 	"hdpower"
 	"hdpower/internal/bdd"
@@ -26,6 +29,7 @@ import (
 	"hdpower/internal/dwlib"
 	"hdpower/internal/hddist"
 	"hdpower/internal/modellib"
+	"hdpower/internal/obs"
 	"hdpower/internal/regress"
 	"hdpower/internal/sim"
 	"hdpower/internal/stats"
@@ -152,18 +156,46 @@ func cmdCharacterize(args []string) error {
 	workers := fs.Int("workers", 0, "simulation worker goroutines (0 = all CPUs); results are identical for any value")
 	out := fs.String("o", "", "output file (default stdout)")
 	libDir := fs.String("library", "", "also store the model in this library directory")
+	traceOut := fs.String("trace", "", "write the run's flight-recorder manifest (JSON) to this file")
+	logFormat := fs.String("log-format", "", "structured progress log on stderr: text or json (off when empty)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if !obs.ValidLogFormat(*logFormat) {
+		return fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat)
 	}
 	nl, err := hdpower.Build(*module, *width)
 	if err != nil {
 		return err
 	}
-	model, err := hdpower.Characterize(nl, fmt.Sprintf("%s-%d", *module, *width),
-		hdpower.CharacterizeOptions{
-			Patterns: *patterns, Enhanced: *enhanced, ZClusters: *zclusters, Seed: *seed,
-			Workers: *workers,
-		})
+	name := fmt.Sprintf("%s-%d", *module, *width)
+	opt := hdpower.CharacterizeOptions{
+		Patterns: *patterns, Enhanced: *enhanced, ZClusters: *zclusters, Seed: *seed,
+		Workers: *workers,
+	}
+	var rec *core.RunRecorder
+	if *traceOut != "" {
+		rec = core.NewRunRecorder(name, opt)
+		opt.Hooks = core.JoinHooks(opt.Hooks, rec.Hooks())
+	}
+	if *logFormat != "" {
+		logger := obs.NewLogger(os.Stderr, *logFormat, slog.LevelInfo)
+		opt.Hooks = core.JoinHooks(opt.Hooks, progressLogHooks(logger))
+	}
+	model, err := hdpower.Characterize(nl, name, opt)
+	if rec != nil {
+		// The manifest is written even when the run fails: a failed run's
+		// flight record is the one worth keeping.
+		man := rec.Finish(model, err)
+		man.Width = *width
+		if werr := writeManifest(*traceOut, man); werr != nil {
+			if err == nil {
+				err = werr
+			} else {
+				fmt.Fprintf(os.Stderr, "hdpower: %v\n", werr)
+			}
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -187,6 +219,38 @@ func cmdCharacterize(args []string) error {
 		return err
 	}
 	return os.WriteFile(*out, data, 0o644)
+}
+
+// progressLogHooks turns the characterization hook stream into structured
+// progress records: phase transitions, convergence checkpoints, early
+// stops. Listening to Convergence makes the engine evaluate checkpoints
+// even without -converge, which never changes the fitted model.
+func progressLogHooks(logger *slog.Logger) *core.Hooks {
+	return &core.Hooks{
+		PhaseStart: func(phase string, shards, patterns int) {
+			logger.Info("phase start", "phase", phase, "shards", shards, "patterns", patterns)
+		},
+		PhaseEnd: func(phase string) { logger.Info("phase end", "phase", phase) },
+		Convergence: func(patterns int, worst float64) {
+			// The first checkpoint has no predecessor to diff against and
+			// reports +Inf, which JSON handlers cannot encode.
+			if math.IsInf(worst, 1) {
+				logger.Info("convergence", "patterns", patterns, "worst_change", "first checkpoint")
+				return
+			}
+			logger.Info("convergence", "patterns", patterns, "worst_change", worst)
+		},
+		EarlyStop: func(used int) { logger.Info("early stop", "patterns", used) },
+	}
+}
+
+// writeManifest persists a flight-recorder manifest as indented JSON.
+func writeManifest(path string, man *core.RunManifest) error {
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func cmdEstimate(args []string) error {
@@ -385,12 +449,18 @@ func cmdFit(args []string) error {
 	workers := fs.Int("workers", 0, "simulation worker goroutines (0 = all CPUs); results are identical for any value")
 	out := fs.String("o", "", "output file (default stdout)")
 	libDir := fs.String("library", "", "also store the regression in this library directory")
+	traceDir := fs.String("trace", "", "write one flight-recorder manifest per prototype into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	mod, err := dwlib.Lookup(*module)
 	if err != nil {
 		return err
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return err
+		}
 	}
 	widths := regress.PrototypeSet(*set).Widths()
 	if widths == nil {
@@ -402,8 +472,21 @@ func cmdFit(args []string) error {
 		if err != nil {
 			return err
 		}
-		model, err := hdpower.Characterize(nl, fmt.Sprintf("%s-%d", *module, w),
-			hdpower.CharacterizeOptions{Patterns: *patterns, Seed: *seed + int64(w), Workers: *workers})
+		opt := hdpower.CharacterizeOptions{Patterns: *patterns, Seed: *seed + int64(w), Workers: *workers}
+		var rec *core.RunRecorder
+		if *traceDir != "" {
+			rec = core.NewRunRecorder(fmt.Sprintf("%s-%d", *module, w), opt)
+			opt.Hooks = rec.Hooks()
+		}
+		model, err := hdpower.Characterize(nl, fmt.Sprintf("%s-%d", *module, w), opt)
+		if rec != nil {
+			man := rec.Finish(model, err)
+			man.Width = w
+			path := filepath.Join(*traceDir, fmt.Sprintf("%s-w%d.manifest.json", *module, w))
+			if werr := writeManifest(path, man); werr != nil {
+				fmt.Fprintf(os.Stderr, "hdpower: %v\n", werr)
+			}
+		}
 		if err != nil {
 			return err
 		}

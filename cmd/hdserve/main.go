@@ -12,6 +12,11 @@
 //	curl -s localhost:8080/v1/estimate -d '{"model":{"module":"csa-multiplier","width":8,"seed":1},"hd":[3,5,2]}'
 //	curl -s localhost:8080/metrics
 //
+// Every request runs under a trace span (X-Trace-ID on responses, joined
+// into the structured access log), model builds emit flight-recorder
+// manifests (-manifest-dir persists them), and -admin-addr opens a second,
+// operator-only listener with /debug/pprof and /debug/traces.
+//
 // SIGINT/SIGTERM starts a graceful shutdown: the listener stops, readiness
 // flips to 503, and in-flight model builds drain before exit.
 package main
@@ -21,19 +26,21 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"hdpower/internal/obs"
 	"hdpower/internal/serve"
 )
 
 func main() {
 	var (
 		addr           = flag.String("addr", ":8080", "listen address")
+		adminAddr      = flag.String("admin-addr", "", "admin listen address for /debug/pprof and /debug/traces (off when empty)")
 		requestTimeout = flag.Duration("request-timeout", 15*time.Second, "per-request timeout")
 		buildTimeout   = flag.Duration("build-timeout", 10*time.Minute, "per-model-build timeout")
 		buildWorkers   = flag.Int("build-workers", 1, "concurrent model builds")
@@ -42,8 +49,22 @@ func main() {
 		modelCache     = flag.Int("model-cache", 64, "fitted-model LRU capacity")
 		maxBody        = flag.Int64("max-body", 1<<20, "request body cap in bytes")
 		shutdownGrace  = flag.Duration("shutdown-grace", 30*time.Second, "drain deadline on SIGTERM")
+		logFormat      = flag.String("log-format", "text", "log output format: text or json")
+		logLevel       = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		traceCapacity  = flag.Int("trace-capacity", 0, "recent-span ring capacity (0 = default 512)")
+		manifestDir    = flag.String("manifest-dir", "", "persist per-build flight-recorder manifests here (off when empty)")
 	)
 	flag.Parse()
+	if !obs.ValidLogFormat(*logFormat) {
+		fmt.Fprintf(os.Stderr, "hdserve: unknown -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "hdserve: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, *logFormat, level)
 
 	srv := serve.New(serve.Config{
 		MaxBodyBytes:   *maxBody,
@@ -53,6 +74,9 @@ func main() {
 		BuildQueue:     *buildQueue,
 		ModelCache:     *modelCache,
 		CharWorkers:    *charWorkers,
+		Logger:         logger,
+		TraceCapacity:  *traceCapacity,
+		ManifestDir:    *manifestDir,
 	})
 	hs := &http.Server{
 		Addr:              *addr,
@@ -65,25 +89,46 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("hdserve: listening on %s", *addr)
+		logger.Info("listening", "addr", *addr)
 		errc <- hs.ListenAndServe()
 	}()
 
+	var admin *http.Server
+	if *adminAddr != "" {
+		admin = &http.Server{
+			Addr:              *adminAddr,
+			Handler:           srv.AdminHandler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			logger.Info("admin listening", "addr", *adminAddr)
+			if err := admin.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("admin listener", "err", err)
+			}
+		}()
+	}
+
 	select {
 	case err := <-errc:
-		log.Fatalf("hdserve: %v", err)
+		logger.Error("listener failed", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
-	log.Printf("hdserve: signal received, draining (grace %s)", *shutdownGrace)
+	logger.Info("signal received, draining", "grace", *shutdownGrace)
 	graceCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 	defer cancel()
 	if err := hs.Shutdown(graceCtx); err != nil {
-		log.Printf("hdserve: http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
+	}
+	if admin != nil {
+		if err := admin.Shutdown(graceCtx); err != nil {
+			logger.Warn("admin shutdown", "err", err)
+		}
 	}
 	if err := srv.Drain(graceCtx); err != nil && !errors.Is(err, context.Canceled) {
-		log.Printf("hdserve: %v", err)
+		logger.Warn("drain", "err", err)
 	}
 	srv.Close()
-	fmt.Println("hdserve: drained, bye")
+	logger.Info("drained, bye")
 }

@@ -25,12 +25,13 @@ func main() {
 	var (
 		exp = flag.String("exp", "all", "experiment: all, fig1, fig2, table1, table2, "+
 			"fig4, table3, fig6, fig9, estimators, engine, zclusters, adapt")
-		quick   = flag.Bool("quick", false, "use the reduced test-scale configuration")
-		charN   = flag.Int("char", 0, "override characterization pattern count")
-		evalN   = flag.Int("eval", 0, "override evaluation stream length")
-		widths  = flag.String("widths", "", "override Table 1 operand widths, e.g. 8,12,16")
-		seed    = flag.Int64("seed", 0, "override random seed")
-		workers = flag.Int("workers", 0, "worker goroutines for characterization (0 = all CPUs); results are identical for any value")
+		quick       = flag.Bool("quick", false, "use the reduced test-scale configuration")
+		charN       = flag.Int("char", 0, "override characterization pattern count")
+		evalN       = flag.Int("eval", 0, "override evaluation stream length")
+		widths      = flag.String("widths", "", "override Table 1 operand widths, e.g. 8,12,16")
+		seed        = flag.Int64("seed", 0, "override random seed")
+		workers     = flag.Int("workers", 0, "worker goroutines for characterization (0 = all CPUs); results are identical for any value")
+		manifestDir = flag.String("manifest-dir", "", "persist one flight-recorder manifest per characterized instance here (off when empty)")
 	)
 	flag.Parse()
 
@@ -48,6 +49,12 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.Workers = *workers
+	if *manifestDir != "" {
+		if err := os.MkdirAll(*manifestDir, 0o755); err != nil {
+			fatalf("manifest dir: %v", err)
+		}
+		cfg.ManifestDir = *manifestDir
+	}
 	if *widths != "" {
 		var ws []int
 		for _, part := range strings.Split(*widths, ",") {

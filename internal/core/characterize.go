@@ -63,6 +63,21 @@ type Hooks struct {
 	// EarlyStop fires when the convergence check ends the run before the
 	// full pattern budget, with the patterns actually consumed.
 	EarlyStop func(patternsUsed int)
+	// PhaseStart fires when a characterization phase begins, with the
+	// phase name ("basic" or "biased"), the number of shards the phase
+	// will merge at most, and its pattern budget. Serving layers use it to
+	// size progress bars and open trace spans.
+	PhaseStart func(phase string, shards, patterns int)
+	// PhaseEnd fires exactly once per started phase, even when the phase
+	// is cut short by convergence or an Interrupt, so span-style observers
+	// can rely on balanced start/end pairs.
+	PhaseEnd func(phase string)
+	// Convergence fires at every convergence checkpoint with the merged
+	// pattern count and the worst relative coefficient change since the
+	// previous checkpoint (math.Inf(1) when a class first turned nonzero).
+	// With ConvergeTol <= 0 checkpoints are still evaluated for this hook
+	// — observability only, never an early stop.
+	Convergence func(patterns int, worstChange float64)
 }
 
 func (h *Hooks) patterns(n int) {
@@ -81,6 +96,87 @@ func (h *Hooks) earlyStop(patternsUsed int) {
 	if h != nil && h.EarlyStop != nil {
 		h.EarlyStop(patternsUsed)
 	}
+}
+
+func (h *Hooks) phaseStart(phase string, shards, patterns int) {
+	if h != nil && h.PhaseStart != nil {
+		h.PhaseStart(phase, shards, patterns)
+	}
+}
+
+func (h *Hooks) phaseEnd(phase string) {
+	if h != nil && h.PhaseEnd != nil {
+		h.PhaseEnd(phase)
+	}
+}
+
+func (h *Hooks) convergence(patterns int, worst float64) {
+	if h != nil && h.Convergence != nil {
+		h.Convergence(patterns, worst)
+	}
+}
+
+// wantsConvergence reports whether convergence checkpoints must run even
+// without an early-stop tolerance.
+func (h *Hooks) wantsConvergence() bool {
+	return h != nil && h.Convergence != nil
+}
+
+// JoinHooks fans every callback out to all non-nil hook sets in order, so
+// independent observers (metrics, tracing, a flight recorder, progress
+// tracking) compose without knowing about each other.
+func JoinHooks(hs ...*Hooks) *Hooks {
+	var live []*Hooks
+	for _, h := range hs {
+		if h != nil {
+			live = append(live, h)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	if len(live) == 1 {
+		return live[0]
+	}
+	j := &Hooks{}
+	j.PatternsSimulated = func(n int) {
+		for _, h := range live {
+			h.patterns(n)
+		}
+	}
+	j.ShardMerged = func() {
+		for _, h := range live {
+			h.shardMerged()
+		}
+	}
+	j.EarlyStop = func(used int) {
+		for _, h := range live {
+			h.earlyStop(used)
+		}
+	}
+	j.PhaseStart = func(phase string, shards, patterns int) {
+		for _, h := range live {
+			h.phaseStart(phase, shards, patterns)
+		}
+	}
+	j.PhaseEnd = func(phase string) {
+		for _, h := range live {
+			h.phaseEnd(phase)
+		}
+	}
+	// Only forward Convergence when someone listens: its presence alone
+	// makes Characterize evaluate checkpoints (see wantsConvergence).
+	for _, h := range live {
+		if h.Convergence != nil {
+			j.Convergence = func(patterns int, worst float64) {
+				for _, h := range live {
+					h.convergence(patterns, worst)
+				}
+			}
+			break
+		}
+	}
+	return j
 }
 
 func (o *CharacterizeOptions) setDefaults() {
@@ -241,15 +337,17 @@ func newConvTracker(m int, tol float64, checkEvery int) *convTracker {
 	}
 }
 
-// stop reports whether the run has converged at the current merged state
-// of `patterns` characterization pairs.
-func (c *convTracker) stop(basic []classAcc, patterns int) bool {
-	if c.tol <= 0 || patterns < c.nextCheck {
-		return false
+// check evaluates a convergence checkpoint at the current merged state of
+// `patterns` characterization pairs. checked reports whether a checkpoint
+// was due (and worst is meaningful); stop reports whether the run has
+// converged under the tracker's tolerance.
+func (c *convTracker) check(basic []classAcc, patterns int) (worst float64, checked, stop bool) {
+	if patterns < c.nextCheck {
+		return 0, false, false
 	}
 	c.nextCheck = patterns - patterns%c.checkEvery + c.checkEvery
-	worst := convergenceWorst(basic, c.prev, c.prevCount)
-	return worst < c.tol && patterns >= 2*c.checkEvery
+	worst = convergenceWorst(basic, c.prev, c.prevCount)
+	return worst, true, c.tol > 0 && worst < c.tol && patterns >= 2*c.checkEvery
 }
 
 // convergenceWorst returns the largest relative change of any populated
@@ -288,6 +386,16 @@ type charPartial struct {
 	basic    []classAcc   // nil for biased-phase shards
 	enhanced [][]classAcc // nil unless the enhanced table is being fitted
 }
+
+// Phase names reported through Hooks.PhaseStart/PhaseEnd.
+const (
+	// PhaseBasic is the unbiased stratified phase that fills the basic
+	// Hd classes.
+	PhaseBasic = "basic"
+	// PhaseBiased is the density-stratified phase that populates the
+	// extreme stable-zero classes of the enhanced table.
+	PhaseBiased = "biased"
+)
 
 // Stream discriminators for shardSeed.
 const (
@@ -381,8 +489,10 @@ func Characterize(meter *power.Meter, moduleName string, opt CharacterizeOptions
 	// classes). The convergence check runs on the merged prefix only, so
 	// the early-stop point is worker-count-independent.
 	conv := newConvTracker(m, opt.ConvergeTol, opt.CheckEvery)
+	checkpoints := opt.ConvergeTol > 0 || opt.Hooks.wantsConvergence()
 	patternsUsed := 0
 	var interrupted error
+	opt.Hooks.phaseStart(PhaseBasic, len(plan), opt.Patterns)
 	usedShards := runShardsOrdered(len(plan), workers,
 		func(w, idx int) *charPartial {
 			return runCharShard(meters[w], model, plan[idx], opt.Seed, false, opt.Enhanced)
@@ -403,12 +513,18 @@ func Characterize(meter *power.Meter, moduleName string, opt CharacterizeOptions
 					return false
 				}
 			}
-			if conv.stop(basic, patternsUsed) {
-				opt.Hooks.earlyStop(patternsUsed)
-				return false
+			if checkpoints {
+				if worst, checked, stop := conv.check(basic, patternsUsed); checked {
+					opt.Hooks.convergence(patternsUsed, worst)
+					if stop {
+						opt.Hooks.earlyStop(patternsUsed)
+						return false
+					}
+				}
 			}
 			return true
 		})
+	opt.Hooks.phaseEnd(PhaseBasic)
 	if interrupted != nil {
 		return nil, fmt.Errorf("core: characterization of %s interrupted: %w", moduleName, interrupted)
 	}
@@ -420,6 +536,7 @@ func Characterize(meter *power.Meter, moduleName string, opt CharacterizeOptions
 	// unbiased for uniform streams. The biased budget mirrors the shards
 	// phase 1 actually consumed.
 	if opt.Enhanced {
+		opt.Hooks.phaseStart(PhaseBiased, usedShards, patternsUsed)
 		runShardsOrdered(usedShards, workers,
 			func(w, idx int) *charPartial {
 				return runCharShard(meters[w], model, plan[idx], opt.Seed, true, true)
@@ -436,6 +553,7 @@ func Characterize(meter *power.Meter, moduleName string, opt CharacterizeOptions
 				}
 				return true
 			})
+		opt.Hooks.phaseEnd(PhaseBiased)
 		if interrupted != nil {
 			return nil, fmt.Errorf("core: characterization of %s interrupted: %w", moduleName, interrupted)
 		}

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package core
+
+// processCPUSeconds is unavailable without rusage; manifests report 0.
+func processCPUSeconds() float64 { return 0 }

@@ -1,0 +1,196 @@
+package core
+
+// manifest.go is the characterization flight recorder: a RunRecorder
+// listens to the Hooks stream of one Characterize run and assembles a
+// RunManifest — the auditable record of what the run actually did (seed,
+// worker count, patterns per phase and per Hd class, convergence
+// trajectory, final coefficients, wall/CPU time). Serving layers persist
+// manifests next to their models; the CLI writes them with -trace. The
+// paper's prototype-set studies (ALL/SEC/THI) are only reproducible when
+// exactly this information survives the run.
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// ConvergencePoint is one convergence checkpoint of a run.
+type ConvergencePoint struct {
+	// Patterns is the merged pattern count at the checkpoint.
+	Patterns int `json:"patterns"`
+	// WorstChange is the largest relative change of any populated basic
+	// coefficient since the previous checkpoint. -1 encodes "no usable
+	// baseline yet" (a class first turned nonzero), which the tracker
+	// reports as +Inf — JSON cannot carry infinities.
+	WorstChange float64 `json:"worst_change"`
+}
+
+// RunManifest is the JSON flight-recorder record of one characterization
+// run.
+type RunManifest struct {
+	// Module is the characterized module name as passed to Characterize.
+	Module string `json:"module"`
+	// Width is the operand width per port; 0 when the caller did not
+	// provide one (core only knows InputBits).
+	Width int `json:"width,omitempty"`
+	// InputBits is the module's total input vector width.
+	InputBits int `json:"input_bits,omitempty"`
+	// Seed anchors the deterministic sharded pattern stream.
+	Seed int64 `json:"seed"`
+	// Workers is the resolved worker count (informational only: the
+	// fitted model is identical for every value).
+	Workers int `json:"workers"`
+	// Enhanced and ZClusters mirror the options that shape the fit.
+	Enhanced  bool `json:"enhanced,omitempty"`
+	ZClusters int  `json:"z_clusters,omitempty"`
+	// PatternsBudget is the requested pattern budget after defaulting.
+	PatternsBudget int `json:"patterns_budget"`
+	// PatternsBasic / PatternsBiased are the patterns actually simulated
+	// per phase (basic < budget on an early stop or interrupt).
+	PatternsBasic  int `json:"patterns_basic"`
+	PatternsBiased int `json:"patterns_biased,omitempty"`
+	// ShardsPlanned / ShardsMerged count deterministic stream shards.
+	ShardsPlanned int `json:"shards_planned"`
+	ShardsMerged  int `json:"shards_merged"`
+	// EarlyStop records a convergence-triggered stop and the patterns it
+	// consumed.
+	EarlyStop           bool `json:"early_stop"`
+	EarlyStopAtPatterns int  `json:"early_stop_at_patterns,omitempty"`
+	// Convergence is the checkpoint trajectory (needs either a positive
+	// ConvergeTol or any Convergence hook listener).
+	Convergence []ConvergencePoint `json:"convergence,omitempty"`
+	// Coefficients is the final basic table: per Hd class the mean charge
+	// (p), intra-class deviation (epsilon) and sample count — "patterns
+	// per Hd class" in one place. Empty when the run failed.
+	Coefficients []Coef `json:"coefficients,omitempty"`
+	// EnhancedCoefficients counts the enhanced table entries (the table
+	// itself lives in the model).
+	EnhancedCoefficients int `json:"enhanced_coefficients,omitempty"`
+	// StartedAt is the wall-clock start of the run.
+	StartedAt time.Time `json:"started_at"`
+	// WallSeconds is the monotonic run duration.
+	WallSeconds float64 `json:"wall_seconds"`
+	// CPUSeconds is the process CPU time (user+system) consumed during
+	// the run. It is a process-wide delta, so concurrent builds overlap;
+	// 0 on platforms without rusage support.
+	CPUSeconds float64 `json:"cpu_seconds,omitempty"`
+	// Error is the run's failure, if any (interrupt, validation).
+	Error string `json:"error,omitempty"`
+}
+
+// RunRecorder assembles a RunManifest from the hook stream of one
+// Characterize call. Create one per run, join Hooks() into the run's hook
+// set, and call Finish once the run settles:
+//
+//	rec := core.NewRunRecorder(module, opt)
+//	opt.Hooks = core.JoinHooks(opt.Hooks, rec.Hooks())
+//	model, err := core.Characterize(meter, module, opt)
+//	manifest := rec.Finish(model, err)
+//
+// The recorder is safe for use with the concurrent engine: hooks arrive
+// on the merging goroutine, Finish may be called from any goroutine.
+type RunRecorder struct {
+	mu    sync.Mutex
+	man   RunManifest
+	phase string
+	start time.Time
+	cpu0  float64
+	done  bool
+}
+
+// NewRunRecorder starts recording a run configured by opt (defaults are
+// applied to a copy, so the manifest reflects the effective budget).
+func NewRunRecorder(module string, opt CharacterizeOptions) *RunRecorder {
+	eff := opt
+	eff.setDefaults()
+	return &RunRecorder{
+		man: RunManifest{
+			Module:         module,
+			Seed:           eff.Seed,
+			Workers:        eff.workerCount(),
+			Enhanced:       eff.Enhanced,
+			ZClusters:      eff.ZClusters,
+			PatternsBudget: eff.Patterns,
+			StartedAt:      time.Now(),
+		},
+		start: time.Now(),
+		cpu0:  processCPUSeconds(),
+	}
+}
+
+// Hooks returns the recorder's hook set; join it with any other observers
+// via JoinHooks.
+func (r *RunRecorder) Hooks() *Hooks {
+	return &Hooks{
+		PhaseStart: func(phase string, shards, patterns int) {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			r.phase = phase
+			if phase == PhaseBasic {
+				r.man.ShardsPlanned = shards
+			}
+		},
+		PhaseEnd: func(phase string) {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			r.phase = ""
+		},
+		PatternsSimulated: func(n int) {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			if r.phase == PhaseBiased {
+				r.man.PatternsBiased += n
+			} else {
+				r.man.PatternsBasic += n
+			}
+		},
+		ShardMerged: func() {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			r.man.ShardsMerged++
+		},
+		Convergence: func(patterns int, worst float64) {
+			if math.IsInf(worst, 1) {
+				worst = -1
+			}
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			r.man.Convergence = append(r.man.Convergence,
+				ConvergencePoint{Patterns: patterns, WorstChange: worst})
+		},
+		EarlyStop: func(used int) {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			r.man.EarlyStop = true
+			r.man.EarlyStopAtPatterns = used
+		},
+	}
+}
+
+// Finish stamps timings and the fitted model's final state (nil on
+// failure) and returns the completed manifest. Finish is idempotent:
+// later calls return the manifest from the first.
+func (r *RunRecorder) Finish(model *Model, err error) *RunManifest {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done {
+		man := r.man
+		return &man
+	}
+	r.done = true
+	r.man.WallSeconds = time.Since(r.start).Seconds()
+	if cpu := processCPUSeconds(); cpu > 0 {
+		r.man.CPUSeconds = cpu - r.cpu0
+	}
+	if err != nil {
+		r.man.Error = err.Error()
+	}
+	if model != nil {
+		r.man.InputBits = model.InputBits
+		r.man.Coefficients = append([]Coef(nil), model.Basic...)
+		_, r.man.EnhancedCoefficients = model.NumCoefficients()
+	}
+	man := r.man
+	return &man
+}

@@ -8,7 +8,10 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"hdpower/internal/core"
@@ -40,6 +43,11 @@ type Config struct {
 	// number of meter clones. 0 means runtime.NumCPU(). Results are
 	// independent of the value (see core.Characterize).
 	Workers int
+	// ManifestDir, when set, persists one flight-recorder manifest per
+	// characterized instance as <dir>/<module>-w<width>[-enh].manifest.json,
+	// making reproduction runs auditable (seed, patterns, convergence,
+	// coefficients).
+	ManifestDir string
 }
 
 // Default returns the full-scale configuration used for EXPERIMENTS.md.
@@ -125,15 +133,41 @@ func (s *Suite) Model(name string, width int, enhanced bool) (*core.Model, error
 			e.err = err
 			return
 		}
-		e.model, e.err = core.Characterize(meter, fmt.Sprintf("%s-%d", name, width),
-			core.CharacterizeOptions{
-				Patterns: s.cfg.CharPatterns,
-				Enhanced: enhanced,
-				Seed:     s.cfg.Seed + int64(width),
-				Workers:  s.cfg.Workers,
-			})
+		opt := core.CharacterizeOptions{
+			Patterns: s.cfg.CharPatterns,
+			Enhanced: enhanced,
+			Seed:     s.cfg.Seed + int64(width),
+			Workers:  s.cfg.Workers,
+		}
+		var rec *core.RunRecorder
+		if s.cfg.ManifestDir != "" {
+			rec = core.NewRunRecorder(fmt.Sprintf("%s-%d", name, width), opt)
+			opt.Hooks = rec.Hooks()
+		}
+		e.model, e.err = core.Characterize(meter, fmt.Sprintf("%s-%d", name, width), opt)
+		if rec != nil {
+			man := rec.Finish(e.model, e.err)
+			man.Width = width
+			s.writeManifest(name, width, enhanced, man)
+		}
 	})
 	return e.model, e.err
+}
+
+// writeManifest persists one characterization manifest; failures are
+// reported on stderr but never fail the experiment.
+func (s *Suite) writeManifest(name string, width int, enhanced bool, man *core.RunManifest) {
+	file := fmt.Sprintf("%s-w%d.manifest.json", name, width)
+	if enhanced {
+		file = fmt.Sprintf("%s-w%d-enh.manifest.json", name, width)
+	}
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err == nil {
+		err = os.WriteFile(filepath.Join(s.cfg.ManifestDir, file), append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: manifest %s: %v\n", file, err)
+	}
 }
 
 // Stream builds the canonical input stream for a module instance and data

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"encoding/json"
 	"math"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"sync"
@@ -276,4 +279,35 @@ func TestNewRejectsBadConfig(t *testing.T) {
 		}
 	}()
 	New(Config{})
+}
+
+// TestSuiteManifests verifies a ManifestDir-configured suite records one
+// flight-recorder manifest per characterized instance.
+func TestSuiteManifests(t *testing.T) {
+	cfg := Quick()
+	cfg.ManifestDir = t.TempDir()
+	s := New(cfg)
+	if _, err := s.Model("ripple-adder", 8, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Model("ripple-adder", 8, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, file := range []string{
+		"ripple-adder-w8.manifest.json",
+		"ripple-adder-w8-enh.manifest.json",
+	} {
+		raw, err := os.ReadFile(filepath.Join(cfg.ManifestDir, file))
+		if err != nil {
+			t.Fatalf("manifest %s: %v", file, err)
+		}
+		var man core.RunManifest
+		if err := json.Unmarshal(raw, &man); err != nil {
+			t.Fatalf("manifest %s decode: %v", file, err)
+		}
+		if man.Module != "ripple-adder-8" || man.Width != 8 ||
+			man.PatternsBasic != cfg.CharPatterns || len(man.Coefficients) == 0 {
+			t.Errorf("manifest %s content: %+v", file, man)
+		}
+	}
 }

@@ -1,0 +1,81 @@
+package obs
+
+// log.go is the structured-logging half of the obs toolkit: thin
+// constructors over log/slog so every binary picks its output format the
+// same way (-log-format text|json), plus helpers that stitch trace and
+// request IDs into log records.
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// NewLogger returns a slog logger writing to w in the given format:
+// "json" selects slog.JSONHandler, "text" (or "") slog.TextHandler.
+// Unknown formats fall back to text — a logging flag typo must not take
+// down a serving binary.
+func NewLogger(w io.Writer, format string, level slog.Level) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts))
+	default:
+		return slog.New(slog.NewTextHandler(w, opts))
+	}
+}
+
+// ValidLogFormat reports whether a -log-format flag value is recognized.
+func ValidLogFormat(format string) bool {
+	switch format {
+	case "", "text", "json":
+		return true
+	}
+	return false
+}
+
+// NopLogger returns a logger that discards every record (used when no
+// logger is configured, so call sites never nil-check).
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }
+
+// nopHandler drops everything. slog.DiscardHandler only exists from Go
+// 1.24, and this module supports 1.22.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// requestIDKey carries a request ID through a context.
+type requestIDKey struct{}
+
+// ContextWithRequestID returns ctx carrying the request ID.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFromContext returns the request ID, or "".
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// NewRequestID mints a fresh 16-hex-digit request ID.
+func NewRequestID() string { return newID() }
+
+// TraceAttrs returns the log attributes identifying the context's trace
+// and request, omitting absent ones. Append them to access-log records so
+// a log line can be joined with its span in /debug/traces.
+func TraceAttrs(ctx context.Context) []slog.Attr {
+	var attrs []slog.Attr
+	if s := SpanFromContext(ctx); s != nil {
+		attrs = append(attrs,
+			slog.String("trace_id", s.TraceID()),
+			slog.String("span_id", s.SpanID()))
+	}
+	if id := RequestIDFromContext(ctx); id != "" {
+		attrs = append(attrs, slog.String("request_id", id))
+	}
+	return attrs
+}

@@ -1,9 +1,19 @@
-// Package obs is a dependency-free metrics toolkit for the hdpower
-// services: atomic counters and gauges, log-bucketed latency histograms,
-// and a registry that renders everything in the Prometheus text exposition
-// format (version 0.0.4). It exists so the serving layer can expose
-// first-class observability without pulling an external client library
-// into a module that otherwise has no dependencies.
+// Package obs is the dependency-free observability toolkit for the
+// hdpower services, in three self-consistent halves:
+//
+//   - metrics: atomic counters and gauges, log-bucketed latency
+//     histograms, and a registry that renders everything in the Prometheus
+//     text exposition format (version 0.0.4);
+//   - tracing (trace.go): spans with parent links, monotonic durations and
+//     attributes, collected in a bounded ring of recent spans and dumped as
+//     JSON by /debug/traces — with the tracer's own counters exposed back
+//     through the metrics registry;
+//   - structured logging (log.go): log/slog constructors plus trace- and
+//     request-ID context plumbing so access logs join up with spans.
+//
+// It exists so the serving layer can expose first-class observability
+// without pulling an external client library into a module that otherwise
+// has no dependencies.
 //
 // All metric operations are safe for concurrent use and allocation-free on
 // the hot path; rendering takes a snapshot under the registry lock.
@@ -116,6 +126,7 @@ type series struct {
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
+	fn     func() uint64 // read-on-render counter (CounterFunc)
 }
 
 // family is one metric name with HELP/TYPE and its label series.
@@ -183,6 +194,18 @@ func (r *Registry) CounterL(name, help string, labels []Label) *Counter {
 	return r.family(name, help, "counter").get(renderLabels(labels)).c
 }
 
+// CounterFunc registers a counter whose value is read from fn at render
+// time, for instruments that keep their own atomics (e.g. the tracer's
+// span counters). Re-registering a name keeps the first function.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.family(name, help, "counter").get("")
+	if s.fn == nil {
+		s.fn = fn
+	}
+}
+
 // Gauge registers (or returns the existing) unlabeled gauge.
 func (r *Registry) Gauge(name, help string) *Gauge {
 	r.mu.Lock()
@@ -248,7 +271,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		for _, s := range f.series {
 			switch f.typ {
 			case "counter":
-				fmt.Fprintf(bw, "%s %d\n", seriesName(f.name, s.labels), s.c.Value())
+				v := uint64(0)
+				if s.fn != nil {
+					v = s.fn()
+				} else {
+					v = s.c.Value()
+				}
+				fmt.Fprintf(bw, "%s %d\n", seriesName(f.name, s.labels), v)
 			case "gauge":
 				fmt.Fprintf(bw, "%s %d\n", seriesName(f.name, s.labels), s.g.Value())
 			case "histogram":

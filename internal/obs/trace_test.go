@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanParentChild(t *testing.T) {
+	tr := NewTracer(16)
+	ctx, root := tr.Start(context.Background(), "request")
+	if root.TraceID() == "" || root.SpanID() == "" {
+		t.Fatalf("root span lacks IDs: %+v", root.rec)
+	}
+	_, child := tr.Start(ctx, "characterize")
+	if child.TraceID() != root.TraceID() {
+		t.Errorf("child trace %s != root trace %s", child.TraceID(), root.TraceID())
+	}
+	if child.rec.ParentID != root.SpanID() {
+		t.Errorf("child parent %s != root span %s", child.rec.ParentID, root.SpanID())
+	}
+	child.SetAttr("shard", "3")
+	child.End()
+	root.End()
+
+	spans := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("snapshot has %d spans, want 2", len(spans))
+	}
+	// Newest first: root ended last.
+	if spans[0].Name != "request" || spans[1].Name != "characterize" {
+		t.Errorf("snapshot order/names wrong: %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[1].Attrs["shard"] != "3" {
+		t.Errorf("attr lost: %v", spans[1].Attrs)
+	}
+	if got := tr.SpansStarted(); got != 2 {
+		t.Errorf("started = %d, want 2", got)
+	}
+}
+
+func TestSpanEndIsIdempotent(t *testing.T) {
+	tr := NewTracer(8)
+	_, s := tr.Start(context.Background(), "once")
+	s.End()
+	s.End()
+	s.End()
+	if got := len(tr.Snapshot()); got != 1 {
+		t.Fatalf("span recorded %d times, want 1", got)
+	}
+	s.SetAttr("late", "x") // after End: ignored, not racy
+	if attrs := tr.Snapshot()[0].Attrs; attrs != nil {
+		t.Errorf("post-End attr leaked into record: %v", attrs)
+	}
+}
+
+func TestRingBoundsAndDropCounter(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		_, s := tr.Start(context.Background(), "s")
+		s.End()
+	}
+	if got := len(tr.Snapshot()); got != 4 {
+		t.Fatalf("ring holds %d spans, want 4", got)
+	}
+	if got := tr.SpansDropped(); got != 6 {
+		t.Errorf("dropped = %d, want 6", got)
+	}
+	if got := tr.SpansStarted(); got != 10 {
+		t.Errorf("started = %d, want 10", got)
+	}
+}
+
+func TestNilTracerAndSpanAreSafe(t *testing.T) {
+	var tr *Tracer
+	ctx, s := tr.Start(context.Background(), "noop")
+	if s != nil {
+		t.Fatalf("nil tracer returned a span")
+	}
+	s.SetAttr("k", "v")
+	s.End()
+	if s.TraceID() != "" || s.SpanID() != "" {
+		t.Errorf("nil span has IDs")
+	}
+	if got := SpanFromContext(ctx); got != nil {
+		t.Errorf("nil tracer stored a span in ctx")
+	}
+	if tr.Snapshot() != nil || tr.SpansStarted() != 0 || tr.SpansDropped() != 0 {
+		t.Errorf("nil tracer reports state")
+	}
+}
+
+func TestStartAtBackdatesDuration(t *testing.T) {
+	tr := NewTracer(4)
+	_, s := tr.StartAt(context.Background(), "shard", time.Now().Add(-time.Second))
+	s.End()
+	if d := tr.Snapshot()[0].DurationSeconds; d < 0.9 {
+		t.Errorf("backdated span duration %.3fs, want ~1s", d)
+	}
+}
+
+func TestTracerMetricsRegistration(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 3; i++ {
+		_, s := tr.Start(context.Background(), "s")
+		s.End()
+	}
+	reg := NewRegistry()
+	tr.RegisterMetrics(reg, "hdserve")
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"hdserve_trace_spans_started_total 3",
+		"hdserve_trace_spans_dropped_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceDumpJSON(t *testing.T) {
+	tr := NewTracer(8)
+	ctx, root := tr.Start(context.Background(), "build")
+	_, child := tr.Start(ctx, "phase")
+	child.End()
+	root.End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dump TraceDump
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if dump.SpansStarted != 2 || len(dump.Spans) != 2 {
+		t.Fatalf("dump = %+v", dump)
+	}
+	if dump.Spans[1].ParentID != dump.Spans[0].SpanID {
+		t.Errorf("parent link lost in dump")
+	}
+}
+
+// TestTracerConcurrency hammers the ring from many goroutines; run with
+// -race.
+func TestTracerConcurrency(t *testing.T) {
+	tr := NewTracer(32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < 500; i++ {
+				c, s := tr.Start(ctx, "op")
+				_, inner := tr.Start(c, "inner")
+				inner.SetAttr("i", "1")
+				inner.End()
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.SpansStarted(); got != 8000 {
+		t.Fatalf("started = %d, want 8000", got)
+	}
+	if got := len(tr.Snapshot()); got != 32 {
+		t.Fatalf("ring size = %d, want 32", got)
+	}
+	if got := tr.SpansDropped(); got != 8000-32 {
+		t.Fatalf("dropped = %d, want %d", got, 8000-32)
+	}
+}
+
+func TestLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, "json", slog.LevelInfo)
+	lg.Info("hello", "k", "v")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json logger output not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "hello" || rec["k"] != "v" {
+		t.Errorf("json record = %v", rec)
+	}
+
+	buf.Reset()
+	NewLogger(&buf, "text", slog.LevelInfo).Info("hello")
+	if !strings.Contains(buf.String(), "msg=hello") {
+		t.Errorf("text logger output: %s", buf.String())
+	}
+
+	buf.Reset()
+	NewLogger(&buf, "bogus", slog.LevelInfo).Info("fallback")
+	if !strings.Contains(buf.String(), "msg=fallback") {
+		t.Errorf("unknown format must fall back to text, got: %s", buf.String())
+	}
+
+	for format, ok := range map[string]bool{"": true, "text": true, "json": true, "yaml": false} {
+		if got := ValidLogFormat(format); got != ok {
+			t.Errorf("ValidLogFormat(%q) = %v, want %v", format, got, ok)
+		}
+	}
+}
+
+func TestNopLoggerDiscards(t *testing.T) {
+	lg := NopLogger()
+	lg.Info("nothing happens")
+	if lg.Enabled(context.Background(), slog.LevelError) {
+		t.Errorf("nop logger claims to be enabled")
+	}
+}
+
+func TestTraceAttrs(t *testing.T) {
+	tr := NewTracer(4)
+	ctx, s := tr.Start(context.Background(), "req")
+	ctx = ContextWithRequestID(ctx, "req-1")
+	attrs := TraceAttrs(ctx)
+	got := map[string]string{}
+	for _, a := range attrs {
+		got[a.Key] = a.Value.String()
+	}
+	if got["trace_id"] != s.TraceID() || got["span_id"] != s.SpanID() || got["request_id"] != "req-1" {
+		t.Errorf("TraceAttrs = %v", got)
+	}
+	if RequestIDFromContext(ctx) != "req-1" {
+		t.Errorf("request id lost")
+	}
+	if len(TraceAttrs(context.Background())) != 0 {
+		t.Errorf("bare context produced attrs")
+	}
+	if id := NewRequestID(); len(id) != 16 {
+		t.Errorf("NewRequestID() = %q", id)
+	}
+}

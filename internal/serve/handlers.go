@@ -292,6 +292,9 @@ type buildRequest struct {
 }
 
 type buildResponse struct {
+	// ID addresses the build's progress (GET /v1/models/build/{id}) and
+	// manifest (GET /v1/models/{id}/manifest) endpoints.
+	ID     string `json:"id"`
 	Key    string `json:"key"`
 	Status string `json:"status"`
 	Error  string `json:"error,omitempty"`
@@ -329,13 +332,13 @@ func (s *Server) handleModelBuild(w http.ResponseWriter, r *http.Request) {
 		}
 	} else if status := s.entryStatus(ent); status == statusReady {
 		s.met.cacheHits.Inc()
-		writeJSON(w, http.StatusOK, buildResponse{Key: ent.key, Status: statusReady})
+		writeJSON(w, http.StatusOK, buildResponse{ID: ent.id, Key: ent.key, Status: statusReady})
 		return
 	} else {
 		s.met.buildsDeduped.Inc()
 	}
 	if !req.Wait {
-		writeJSON(w, http.StatusAccepted, buildResponse{Key: ent.key, Status: statusBuilding})
+		writeJSON(w, http.StatusAccepted, buildResponse{ID: ent.id, Key: ent.key, Status: statusBuilding})
 		return
 	}
 	select {
@@ -347,10 +350,10 @@ func (s *Server) handleModelBuild(w http.ResponseWriter, r *http.Request) {
 	status, buildErr := s.entryResult(ent)
 	if status == statusFailed {
 		writeJSON(w, http.StatusInternalServerError,
-			buildResponse{Key: ent.key, Status: statusFailed, Error: buildErr.Error()})
+			buildResponse{ID: ent.id, Key: ent.key, Status: statusFailed, Error: buildErr.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, buildResponse{Key: ent.key, Status: status})
+	writeJSON(w, http.StatusOK, buildResponse{ID: ent.id, Key: ent.key, Status: status})
 }
 
 func (s *Server) entryStatus(ent *buildEntry) string {

@@ -4,7 +4,9 @@ import (
 	"container/list"
 	"context"
 	"fmt"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"hdpower/internal/core"
 	"hdpower/internal/dwlib"
@@ -68,6 +70,13 @@ func (b BuildSpec) Key() string {
 	return fmt.Sprintf("%s/w%d/s%d", b.Module, b.Width, b.Seed)
 }
 
+// buildID derives the URL-safe identifier used by the progress and
+// manifest endpoints (and manifest filenames) from a cache key: the key's
+// slashes become dashes, e.g. "ripple-adder/w8/s1" -> "ripple-adder-w8-s1".
+func buildID(key string) string {
+	return strings.ReplaceAll(key, "/", "-")
+}
+
 // Build lifecycle states.
 const (
 	statusBuilding = "building"
@@ -80,16 +89,37 @@ const (
 type buildEntry struct {
 	spec BuildSpec
 	key  string
+	id   string // URL-safe form of key, see buildID
 	done chan struct{}
 
+	// Live progress, written by the characterization hooks on the merging
+	// goroutine and read lock-free by GET /v1/models/build/{id} pollers.
+	// Counts accumulate across both characterization phases, so they are
+	// monotonic for the lifetime of the build.
+	shardsTotal  atomic.Int64
+	shardsMerged atomic.Int64
+	patterns     atomic.Int64
+
 	// Guarded by the owning cache's mutex.
-	status string
-	model  *core.Model
-	err    error
+	status   string
+	model    *core.Model
+	err      error
+	manifest *core.RunManifest
+}
+
+// progressHooks returns the hook set that feeds the entry's live progress
+// counters during its build.
+func (ent *buildEntry) progressHooks() *core.Hooks {
+	return &core.Hooks{
+		PhaseStart:        func(_ string, shards, _ int) { ent.shardsTotal.Add(int64(shards)) },
+		ShardMerged:       func() { ent.shardsMerged.Add(1) },
+		PatternsSimulated: func(n int) { ent.patterns.Add(int64(n)) },
+	}
 }
 
 // modelSnapshot is the externally visible state of one entry.
 type modelSnapshot struct {
+	ID            string    `json:"id"`
 	Key           string    `json:"key"`
 	Spec          BuildSpec `json:"spec"`
 	Status        string    `json:"status"`
@@ -107,7 +137,8 @@ type modelCache struct {
 	capacity int
 	met      *metrics
 	entries  map[string]*buildEntry
-	order    *list.List // ready keys, MRU at front
+	byID     map[string]*buildEntry // same entries, keyed by buildID
+	order    *list.List             // ready keys, MRU at front
 	elems    map[string]*list.Element
 }
 
@@ -116,9 +147,18 @@ func newModelCache(capacity int, met *metrics) *modelCache {
 		capacity: capacity,
 		met:      met,
 		entries:  make(map[string]*buildEntry),
+		byID:     make(map[string]*buildEntry),
 		order:    list.New(),
 		elems:    make(map[string]*list.Element),
 	}
+}
+
+// lookupID returns the entry for a build ID, if present.
+func (c *modelCache) lookupID(id string) (*buildEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ent, ok := c.byID[id]
+	return ent, ok
 }
 
 // ready returns the fitted model for key if present, refreshing its LRU
@@ -147,8 +187,12 @@ func (c *modelCache) begin(spec BuildSpec) (ent *buildEntry, started bool) {
 		}
 		return ent, false
 	}
-	ent = &buildEntry{spec: spec, key: key, status: statusBuilding, done: make(chan struct{})}
+	ent = &buildEntry{
+		spec: spec, key: key, id: buildID(key),
+		status: statusBuilding, done: make(chan struct{}),
+	}
 	c.entries[key] = ent
+	c.byID[ent.id] = ent
 	return ent, true
 }
 
@@ -159,13 +203,15 @@ func (c *modelCache) abandon(ent *buildEntry) {
 	defer c.mu.Unlock()
 	if c.entries[ent.key] == ent {
 		delete(c.entries, ent.key)
+		delete(c.byID, ent.id)
 	}
 }
 
-// complete settles a build, publishes the result, and evicts beyond the
-// LRU capacity.
-func (c *modelCache) complete(ent *buildEntry, model *core.Model, err error) {
+// complete settles a build, publishes the result and its flight-recorder
+// manifest, and evicts beyond the LRU capacity.
+func (c *modelCache) complete(ent *buildEntry, model *core.Model, err error, man *core.RunManifest) {
 	c.mu.Lock()
+	ent.manifest = man
 	if err != nil {
 		ent.status = statusFailed
 		ent.err = err
@@ -178,6 +224,7 @@ func (c *modelCache) complete(ent *buildEntry, model *core.Model, err error) {
 			key := oldest.Value.(string)
 			c.order.Remove(oldest)
 			delete(c.elems, key)
+			delete(c.byID, c.entries[key].id)
 			delete(c.entries, key)
 			c.met.cacheEvicted.Inc()
 		}
@@ -204,7 +251,7 @@ func (c *modelCache) snapshot() []modelSnapshot {
 }
 
 func (c *modelCache) entrySnapshot(ent *buildEntry) modelSnapshot {
-	snap := modelSnapshot{Key: ent.key, Spec: ent.spec, Status: ent.status}
+	snap := modelSnapshot{ID: ent.id, Key: ent.key, Spec: ent.spec, Status: ent.status}
 	if ent.err != nil {
 		snap.Error = ent.err.Error()
 	}

@@ -1,0 +1,343 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hdpower/internal/core"
+	"hdpower/internal/obs"
+)
+
+// manifestDir returns the directory serve tests persist manifests into:
+// HDPOWER_MANIFEST_DIR when set (CI exports it so failed jobs can upload
+// the manifests as artifacts), a per-test temp dir otherwise.
+func manifestDir(t *testing.T) string {
+	if dir := os.Getenv("HDPOWER_MANIFEST_DIR"); dir != "" {
+		return dir
+	}
+	return t.TempDir()
+}
+
+// TestBuildProgressEndpoint steps a gated build shard by shard and polls
+// GET /v1/models/build/{id} between steps: the reported merge count must
+// increase monotonically and finish at shards_total.
+func TestBuildProgressEndpoint(t *testing.T) {
+	const shards = 4
+	proceed := make(chan struct{})
+	stepped := make(chan struct{})
+	build := func(ctx context.Context, spec BuildSpec, hooks *core.Hooks) (*core.Model, error) {
+		hooks.PhaseStart(core.PhaseBasic, shards, 512)
+		for i := 0; i < shards; i++ {
+			<-proceed
+			hooks.PatternsSimulated(128)
+			hooks.ShardMerged()
+			stepped <- struct{}{}
+		}
+		hooks.PhaseEnd(core.PhaseBasic)
+		return fakeModel(4), nil
+	}
+	_, ts := newTestServer(t, Config{BuildFunc: build})
+
+	resp, data := postJSON(t, ts.URL+"/v1/models/build", json.RawMessage(tinySpecJSON))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("build: %d %s", resp.StatusCode, data)
+	}
+	br := decode[buildResponse](t, data)
+	if br.ID != "ripple-adder-w2-s7" {
+		t.Fatalf("build id = %q", br.ID)
+	}
+
+	poll := func() buildProgressResponse {
+		resp, data := postGet(t, ts.URL+"/v1/models/build/"+br.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("progress: %d %s", resp.StatusCode, data)
+		}
+		return decode[buildProgressResponse](t, data)
+	}
+
+	last := int64(-1)
+	for i := 0; i < shards; i++ {
+		proceed <- struct{}{}
+		<-stepped
+		p := poll()
+		if p.ShardsMerged <= last {
+			t.Fatalf("shards_merged not monotonic: %d after %d", p.ShardsMerged, last)
+		}
+		if p.ShardsMerged != int64(i+1) || p.ShardsTotal != shards {
+			t.Fatalf("step %d: progress %+v", i, p)
+		}
+		if p.PatternsSimulated != int64(128*(i+1)) {
+			t.Fatalf("step %d: patterns %d", i, p.PatternsSimulated)
+		}
+		last = p.ShardsMerged
+	}
+
+	// The build settles; the final poll reports ready with full progress.
+	resp, data = postJSON(t, ts.URL+"/v1/models/build",
+		map[string]any{"module": "ripple-adder", "width": 2, "seed": 7, "patterns": 512, "wait": true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wait: %d %s", resp.StatusCode, data)
+	}
+	p := poll()
+	if p.Status != statusReady || p.ShardsMerged != shards || p.Key != tinySpec().Key() {
+		t.Fatalf("final progress %+v", p)
+	}
+
+	// Unknown IDs are 404, as is the unknown sub-resource shape.
+	if resp, _ := postGet(t, ts.URL+"/v1/models/build/nope"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown build id: %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := postGet(t, ts.URL+"/v1/models/x/y"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown sub-resource: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestManifestRoundTrip runs a real build and retrieves its flight
+// recorder manifest over HTTP and from the manifest directory; both copies
+// must describe the run the server actually executed.
+func TestManifestRoundTrip(t *testing.T) {
+	dir := manifestDir(t)
+	s, ts := newTestServer(t, Config{CharWorkers: 2, ManifestDir: dir})
+
+	resp, data := postJSON(t, ts.URL+"/v1/models/build",
+		map[string]any{"module": "ripple-adder", "width": 2, "seed": 7, "patterns": 512, "wait": true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("build: %d %s", resp.StatusCode, data)
+	}
+	id := decode[buildResponse](t, data).ID
+
+	resp, data = postGet(t, ts.URL+"/v1/models/"+id+"/manifest")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("manifest: %d %s", resp.StatusCode, data)
+	}
+	man := decode[core.RunManifest](t, data)
+	if man.Module != "ripple-adder-w2" || man.Width != 2 || man.Seed != 7 {
+		t.Errorf("manifest identity: %+v", man)
+	}
+	if man.PatternsBudget != 512 || man.PatternsBasic != 512 {
+		t.Errorf("manifest patterns: budget %d basic %d", man.PatternsBudget, man.PatternsBasic)
+	}
+	if man.ShardsMerged == 0 || man.ShardsMerged != man.ShardsPlanned {
+		t.Errorf("manifest shards: %d of %d", man.ShardsMerged, man.ShardsPlanned)
+	}
+	if len(man.Coefficients) != 4 {
+		t.Errorf("manifest coefficients: %d, want 4", len(man.Coefficients))
+	}
+	if man.Error != "" {
+		t.Errorf("manifest error on success: %q", man.Error)
+	}
+
+	// The persisted copy matches the served one.
+	raw, err := os.ReadFile(filepath.Join(dir, id+".manifest.json"))
+	if err != nil {
+		t.Fatalf("persisted manifest: %v", err)
+	}
+	var disk core.RunManifest
+	if err := json.Unmarshal(raw, &disk); err != nil {
+		t.Fatalf("persisted manifest decode: %v", err)
+	}
+	if disk.PatternsBasic != man.PatternsBasic || disk.Module != man.Module {
+		t.Errorf("disk manifest diverges: %+v vs %+v", disk, man)
+	}
+
+	// Closing the server dumps the span ring next to the manifests.
+	s.Close()
+	if _, err := os.Stat(filepath.Join(dir, "traces.json")); err != nil {
+		t.Errorf("trace dump missing: %v", err)
+	}
+}
+
+// TestFailedBuildManifest verifies the manifest of a failed build carries
+// the error and stays retrievable while the failed entry lingers.
+func TestFailedBuildManifest(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		BuildFunc: func(ctx context.Context, spec BuildSpec, hooks *core.Hooks) (*core.Model, error) {
+			hooks.PhaseStart(core.PhaseBasic, 2, 256)
+			hooks.PatternsSimulated(128)
+			hooks.ShardMerged()
+			hooks.PhaseEnd(core.PhaseBasic)
+			return nil, fmt.Errorf("synthetic failure")
+		},
+	})
+	resp, data := postJSON(t, ts.URL+"/v1/models/build",
+		map[string]any{"module": "ripple-adder", "width": 2, "seed": 1, "wait": true})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("failed build: %d %s", resp.StatusCode, data)
+	}
+	id := decode[buildResponse](t, data).ID
+	resp, data = postGet(t, ts.URL+"/v1/models/"+id+"/manifest")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failed manifest: %d %s", resp.StatusCode, data)
+	}
+	man := decode[core.RunManifest](t, data)
+	if !strings.Contains(man.Error, "synthetic failure") {
+		t.Errorf("manifest error = %q", man.Error)
+	}
+	if man.ShardsMerged != 1 || len(man.Coefficients) != 0 {
+		t.Errorf("failed manifest progress: %+v", man)
+	}
+}
+
+// TestRequestTracing checks the HTTP middleware's span plumbing: the trace
+// ID surfaces in the X-Trace-ID header, the request ID round-trips, and
+// the finished root span carries the route and status.
+func TestRequestTracing(t *testing.T) {
+	s, ts := newTestServer(t, Config{BuildFunc: instantBuilds(4)})
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "req-123")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	traceID := resp.Header.Get("X-Trace-ID")
+	if traceID == "" {
+		t.Fatal("no X-Trace-ID on response")
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != "req-123" {
+		t.Errorf("request ID did not round-trip: %q", got)
+	}
+
+	var root *obs.SpanRecord
+	for _, rec := range s.Tracer().Snapshot() {
+		if rec.TraceID == traceID {
+			rec := rec
+			root = &rec
+			break
+		}
+	}
+	if root == nil {
+		t.Fatalf("no span recorded for trace %s", traceID)
+	}
+	if root.Name != "GET /healthz" || root.Attrs["method"] != http.MethodGet || root.Attrs["status"] != "200" {
+		t.Errorf("root span %+v", root)
+	}
+}
+
+// TestBuildTraceSpans runs a real build and checks the trace tree: a
+// model.build root with characterize.basic and shard.merge children, all
+// under one trace ID, visible through /debug/traces on the admin handler.
+func TestBuildTraceSpans(t *testing.T) {
+	s, ts := newTestServer(t, Config{CharWorkers: 1})
+	resp, data := postJSON(t, ts.URL+"/v1/models/build",
+		map[string]any{"module": "ripple-adder", "width": 2, "seed": 1, "patterns": 384, "wait": true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("build: %d %s", resp.StatusCode, data)
+	}
+
+	var build *obs.SpanRecord
+	for _, rec := range s.Tracer().Snapshot() {
+		if rec.Name == "model.build" {
+			rec := rec
+			build = &rec
+			break
+		}
+	}
+	if build == nil {
+		t.Fatal("no model.build span")
+	}
+	if build.Attrs["key"] != "ripple-adder/w2/s1" {
+		t.Errorf("build span key attr = %q", build.Attrs["key"])
+	}
+
+	phases, merges := 0, 0
+	for _, rec := range s.Tracer().Snapshot() {
+		if rec.TraceID != build.TraceID {
+			continue
+		}
+		switch rec.Name {
+		case "characterize.basic":
+			phases++
+			if rec.ParentID != build.SpanID {
+				t.Errorf("phase span not a child of model.build")
+			}
+		case "shard.merge":
+			merges++
+		}
+	}
+	if phases != 1 {
+		t.Errorf("characterize.basic spans = %d, want exactly 1", phases)
+	}
+	if merges != 3 {
+		t.Errorf("shard.merge spans = %d, want 3", merges)
+	}
+
+	// The same tree is served by the admin trace dump.
+	admin := httptest.NewServer(s.AdminHandler())
+	defer admin.Close()
+	resp, data = postGet(t, admin.URL+"/debug/traces")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/traces: %d", resp.StatusCode)
+	}
+	dump := decode[obs.TraceDump](t, data)
+	if dump.SpansStarted == 0 || len(dump.Spans) == 0 {
+		t.Fatalf("empty trace dump: %+v", dump)
+	}
+	if !strings.Contains(string(data), "model.build") {
+		t.Error("trace dump missing the build span")
+	}
+
+	// pprof rides on the same admin mux.
+	if resp, _ := postGet(t, admin.URL+"/debug/pprof/"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/: %d", resp.StatusCode)
+	}
+
+	// Span counters surface on /metrics (satellite: tracer registration).
+	_, metData := postGet(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metData), "hdserve_trace_spans_started_total") {
+		t.Error("/metrics missing hdserve_trace_spans_started_total")
+	}
+}
+
+// TestAccessLog drives requests through a JSON logger and checks the
+// access-log records: fields, trace join keys, and the Debug demotion of
+// probe endpoints.
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := obs.NewLogger(&buf, "json", slog.LevelInfo)
+	_, ts := newTestServer(t, Config{BuildFunc: instantBuilds(4), Logger: logger})
+
+	resp, _ := postJSON(t, ts.URL+"/v1/models/build",
+		map[string]any{"module": "ripple-adder", "width": 2, "seed": 7, "wait": true})
+	wantTrace := resp.Header.Get("X-Trace-ID")
+	postGet(t, ts.URL+"/healthz") // Debug-level: must not log at Info
+
+	var found map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", line, err)
+		}
+		if rec["path"] == "/healthz" {
+			t.Errorf("probe endpoint logged at Info: %q", line)
+		}
+		if rec["msg"] == "request" && rec["path"] == "/v1/models/build" {
+			found = rec
+		}
+	}
+	if found == nil {
+		t.Fatalf("no access-log record for the build request; log:\n%s", buf.String())
+	}
+	if found["method"] != "POST" || found["status"] != float64(200) {
+		t.Errorf("access log fields: %v", found)
+	}
+	if found["bytes"] == float64(0) {
+		t.Errorf("access log bytes not counted: %v", found)
+	}
+	if found["trace_id"] != wantTrace {
+		t.Errorf("access log trace_id %v != header %q", found["trace_id"], wantTrace)
+	}
+	if found["request_id"] == "" || found["request_id"] == nil {
+		t.Errorf("access log missing request_id: %v", found)
+	}
+}

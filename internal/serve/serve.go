@@ -10,19 +10,27 @@
 //
 // Endpoints:
 //
-//	POST /v1/estimate        per-cycle estimates from Hd classes or vectors
-//	POST /v1/estimate/stats  closed-form average from (μ, σ, ρ, width)
-//	GET  /v1/models          cached / in-flight model inventory
-//	POST /v1/models/build    async characterize+fit (singleflight, LRU)
-//	GET  /healthz            liveness
-//	GET  /readyz             readiness (503 while draining)
-//	GET  /metrics            Prometheus text exposition
+//	POST /v1/estimate                 per-cycle estimates from Hd classes or vectors
+//	POST /v1/estimate/stats           closed-form average from (μ, σ, ρ, width)
+//	GET  /v1/models                   cached / in-flight model inventory
+//	POST /v1/models/build             async characterize+fit (singleflight, LRU)
+//	GET  /v1/models/build/{id}        live build progress (shards, patterns)
+//	GET  /v1/models/{id}/manifest     flight-recorder manifest of a settled build
+//	GET  /healthz                     liveness
+//	GET  /readyz                      readiness (503 while draining)
+//	GET  /metrics                     Prometheus text exposition
+//
+// Every request runs under a root span (trace ID echoed in X-Trace-ID and
+// the access log), model builds produce child spans per phase and merged
+// shard, and AdminHandler serves /debug/pprof and /debug/traces on an
+// operator-only listener.
 package serve
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"runtime/debug"
@@ -56,6 +64,15 @@ type Config struct {
 	// BuildFunc overrides the characterization backend; tests inject
 	// slow or failing builds here. nil selects the real engine.
 	BuildFunc func(ctx context.Context, spec BuildSpec, hooks *core.Hooks) (*core.Model, error)
+	// Logger receives access-log and build-lifecycle records; nil discards
+	// them.
+	Logger *slog.Logger
+	// TraceCapacity bounds the recent-span ring (default 512).
+	TraceCapacity int
+	// ManifestDir, when set, persists one flight-recorder manifest per
+	// build as <dir>/<build id>.manifest.json, and Close dumps the span
+	// ring to <dir>/traces.json.
+	ManifestDir string
 }
 
 func (c *Config) setDefaults() {
@@ -134,11 +151,13 @@ func (m *metrics) latency(path string) *obs.Histogram {
 
 // Server is one hdserve instance.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	met   *metrics
-	cache *modelCache
-	hooks *core.Hooks
+	cfg    Config
+	mux    *http.ServeMux
+	met    *metrics
+	cache  *modelCache
+	hooks  *core.Hooks
+	tracer *obs.Tracer
+	log    *slog.Logger
 
 	queue     chan *buildEntry
 	buildWG   sync.WaitGroup // queued + running builds
@@ -156,12 +175,25 @@ func New(cfg Config) *Server {
 	cfg.setDefaults()
 	met := newMetrics()
 	s := &Server{
-		cfg:   cfg,
-		mux:   http.NewServeMux(),
-		met:   met,
-		cache: newModelCache(cfg.ModelCache, met),
-		queue: make(chan *buildEntry, cfg.BuildQueue),
-		quit:  make(chan struct{}),
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		met:    met,
+		cache:  newModelCache(cfg.ModelCache, met),
+		queue:  make(chan *buildEntry, cfg.BuildQueue),
+		quit:   make(chan struct{}),
+		tracer: obs.NewTracer(cfg.TraceCapacity),
+		log:    cfg.Logger,
+	}
+	if s.log == nil {
+		s.log = obs.NopLogger()
+	}
+	s.tracer.RegisterMetrics(met.reg, "hdserve")
+	if cfg.ManifestDir != "" {
+		if err := os.MkdirAll(cfg.ManifestDir, 0o755); err != nil {
+			s.log.Error("manifest dir unavailable; manifests disabled",
+				"dir", cfg.ManifestDir, "err", err)
+			s.cfg.ManifestDir = ""
+		}
 	}
 	s.hooks = &core.Hooks{
 		PatternsSimulated: func(n int) { met.charPatterns.Add(int64(n)) },
@@ -180,6 +212,11 @@ func New(cfg Config) *Server {
 	s.handle("POST /v1/estimate/stats", s.handleEstimateStats)
 	s.handle("GET /v1/models", s.handleModels)
 	s.handle("POST /v1/models/build", s.handleModelBuild)
+	// One pattern covers both two-segment model sub-resources —
+	// /v1/models/build/{id} (progress) and /v1/models/{id}/manifest —
+	// because as separate ServeMux patterns they would overlap on
+	// /v1/models/build/manifest without either being more specific.
+	s.handle("GET /v1/models/{a}/{b}", s.handleModelSub)
 
 	for w := 0; w < cfg.BuildWorkers; w++ {
 		s.workerWG.Add(1)
@@ -194,16 +231,21 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Registry exposes the metrics registry (tests and embedders).
 func (s *Server) Registry() *obs.Registry { return s.met.reg }
 
+// Tracer exposes the span ring (admin endpoints, tests, embedders).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
 // handle registers a route behind the standard middleware stack. The
 // route pattern doubles as the metric label, keeping cardinality fixed.
 func (s *Server) handle(pattern string, h http.HandlerFunc) {
 	s.mux.Handle(pattern, s.wrap(pattern, h))
 }
 
-// statusWriter records the response code for metrics and panic recovery.
+// statusWriter records the response code and body size for metrics, the
+// access log, and panic recovery.
 type statusWriter struct {
 	http.ResponseWriter
 	code  int
+	bytes int64
 	wrote bool
 }
 
@@ -217,16 +259,33 @@ func (w *statusWriter) WriteHeader(code int) {
 
 func (w *statusWriter) Write(b []byte) (int, error) {
 	w.wrote = true
-	return w.ResponseWriter.Write(b)
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
 }
 
 // wrap applies panic recovery, per-request timeout, the body size cap,
-// and request metrics to a handler.
+// a root span, request-ID propagation, request metrics and the access log
+// to a handler.
 func (s *Server) wrap(pattern string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.met.inflight.Add(1)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" {
+			rid = obs.NewRequestID()
+		}
+		ctx := obs.ContextWithRequestID(r.Context(), rid)
+		ctx, span := s.tracer.Start(ctx, pattern)
+		span.SetAttr("method", r.Method)
+		span.SetAttr("path", r.URL.Path)
+		sw.Header().Set("X-Request-ID", rid)
+		if id := span.TraceID(); id != "" {
+			sw.Header().Set("X-Trace-ID", id)
+		}
+
 		defer func() {
 			if p := recover(); p != nil {
 				s.met.panics.Inc()
@@ -240,14 +299,38 @@ func (s *Server) wrap(pattern string, h http.HandlerFunc) http.Handler {
 			s.met.inflight.Add(-1)
 			s.met.request(pattern, sw.code).Inc()
 			s.met.latency(pattern).Observe(time.Since(start).Seconds())
+			span.SetAttr("status", strconv.Itoa(sw.code))
+			span.End()
+			s.accessLog(ctx, r, sw, time.Since(start))
 		}()
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
 		}
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
 		defer cancel()
 		h(sw, r.WithContext(ctx))
 	})
+}
+
+// accessLog emits one structured record per request. Probe and scrape
+// endpoints log at Debug so steady-state operation stays quiet at Info.
+func (s *Server) accessLog(ctx context.Context, r *http.Request, sw *statusWriter, d time.Duration) {
+	level := slog.LevelInfo
+	switch r.URL.Path {
+	case "/healthz", "/readyz", "/metrics":
+		level = slog.LevelDebug
+	}
+	if !s.log.Enabled(ctx, level) {
+		return
+	}
+	attrs := append([]slog.Attr{
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", sw.code),
+		slog.Int64("bytes", sw.bytes),
+		slog.Duration("duration", d),
+	}, obs.TraceAttrs(ctx)...)
+	s.log.LogAttrs(ctx, level, "request", attrs...)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -294,7 +377,9 @@ func (s *Server) Drain(ctx context.Context) error {
 var errServerClosed = errors.New("serve: server closed")
 
 // Close stops the worker pool and fails any builds still in the queue so
-// their waiters unblock. Call Drain first for a graceful stop.
+// their waiters unblock. Call Drain first for a graceful stop. With a
+// ManifestDir configured, Close also flight-records the span ring to
+// traces.json so post-mortems survive the process.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() { close(s.quit) })
 	s.workerWG.Wait()
@@ -302,9 +387,10 @@ func (s *Server) Close() {
 		select {
 		case ent := <-s.queue:
 			s.met.queueDepth.Add(-1)
-			s.cache.complete(ent, nil, errServerClosed)
+			s.cache.complete(ent, nil, errServerClosed, nil)
 			s.buildWG.Done()
 		default:
+			s.dumpTraces()
 			return
 		}
 	}
@@ -325,17 +411,48 @@ func (s *Server) buildWorker() {
 	}
 }
 
-// runBuild executes one deduplicated model build.
+// runBuild executes one deduplicated model build under a root span, with
+// the flight recorder, span hooks and the entry's progress counters joined
+// onto the server's metric hooks.
 func (s *Server) runBuild(ent *buildEntry) {
 	s.met.buildsRun.Inc()
 	start := time.Now()
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.BuildTimeout)
 	defer cancel()
-	model, err := s.buildFn(ctx, ent.spec, s.hooks)
-	s.met.buildSeconds.Observe(time.Since(start).Seconds())
+	ctx, span := s.tracer.Start(ctx, "model.build")
+	span.SetAttr("key", ent.key)
+	span.SetAttr("module", ent.spec.Module)
+	span.SetAttr("width", strconv.Itoa(ent.spec.Width))
+
+	rec := core.NewRunRecorder(
+		fmt.Sprintf("%s-w%d", ent.spec.Module, ent.spec.Width),
+		core.CharacterizeOptions{
+			Patterns:  ent.spec.Patterns,
+			Seed:      ent.spec.Seed,
+			Enhanced:  ent.spec.Enhanced,
+			ZClusters: ent.spec.ZClusters,
+			Workers:   s.cfg.CharWorkers,
+		})
+	hooks := core.JoinHooks(s.hooks, rec.Hooks(), s.spanHooks(ctx), ent.progressHooks())
+
+	s.log.Info("build started", "id", ent.id, "key", ent.key,
+		"trace_id", span.TraceID())
+	model, err := s.buildFn(ctx, ent.spec, hooks)
+	man := rec.Finish(model, err)
+	man.Width = ent.spec.Width
+	dur := time.Since(start)
+	s.met.buildSeconds.Observe(dur.Seconds())
 	if err != nil {
 		s.met.buildsFailed.Inc()
 		model = nil
+		span.SetAttr("error", err.Error())
+		s.log.Warn("build failed", "id", ent.id, "key", ent.key,
+			"duration", dur, "err", err)
+	} else {
+		s.log.Info("build finished", "id", ent.id, "key", ent.key,
+			"duration", dur, "patterns", man.PatternsBasic+man.PatternsBiased)
 	}
-	s.cache.complete(ent, model, err)
+	span.End()
+	s.cache.complete(ent, model, err, man)
+	s.persistManifest(ent.id, man)
 }
