@@ -5,7 +5,7 @@ GO ?= go
 COVER_FLOOR_CORE ?= 90
 COVER_FLOOR_SIM  ?= 90
 
-.PHONY: test race cover bench bench-char bench-fresh bench-gate repro
+.PHONY: test race chaos cover bench bench-char bench-fresh bench-gate repro
 
 # Tier-1 gate: everything builds, everything passes.
 test:
@@ -13,11 +13,23 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent packages (characterization
-# engine, simulator clones, experiment suite, serving layer, metrics +
-# tracing, and the public API surface).
+# engine, simulator clones, experiment suite, serving layer, durability +
+# fault-injection layers, metrics + tracing, and the public API surface).
 race:
 	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/power/... \
-		./internal/experiments/... ./internal/serve/... ./internal/obs/... .
+		./internal/experiments/... ./internal/serve/... ./internal/obs/... \
+		./internal/atomicio/... ./internal/faultpoint/... ./internal/modellib/... .
+
+# Chaos pass: the crash-safety test suite re-run with slow-mode fault
+# points armed (stretching the crash windows that checkpointing, atomic
+# writes and build retries protect) under the race detector. Error-mode
+# faults are exercised deterministically by the unit tests themselves;
+# arming slow faults here shifts goroutine interleavings without making
+# any test nondeterministically fail.
+chaos:
+	HDPOWER_FAULTPOINTS='core.shard=slow:p=0.2:delay=2ms;core.merge=slow:p=0.2:delay=2ms;atomicio.write=slow:p=0.3:delay=2ms;serve.build=slow:p=0.5:delay=5ms' \
+		$(GO) test -race -count=1 ./internal/core/... ./internal/atomicio/... \
+		./internal/faultpoint/... ./internal/modellib/... ./internal/serve/...
 
 # Coverage profiles with enforced floors on internal/core and
 # internal/sim; CI publishes the profiles as artifacts.

@@ -60,32 +60,55 @@ func main() {
 	fmt.Println("benchcmp: ok")
 }
 
-func load(path string) ([]record, error) {
+// load reads one benchmark JSON file. Records that do not fit the current
+// schema — committed baselines can long outlive the tool that wrote them —
+// are skipped with a note instead of failing the whole comparison; only a
+// file with no usable records at all is an error.
+func load(path string) (recs []record, notes []string, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var recs []record
-	if err := json.Unmarshal(data, &recs); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+	var raws []json.RawMessage
+	if err := json.Unmarshal(data, &raws); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	for i, raw := range raws {
+		var r record
+		if derr := json.Unmarshal(raw, &r); derr != nil {
+			notes = append(notes, fmt.Sprintf("%s: skipping record %d: %v (older schema?)", path, i, derr))
+			continue
+		}
+		if r.Name == "" {
+			notes = append(notes, fmt.Sprintf("%s: skipping record %d: no benchmark name (older schema?)", path, i))
+			continue
+		}
+		if len(r.Metrics) == 0 {
+			notes = append(notes, fmt.Sprintf("%s: skipping %s: no metrics (older schema?)", path, r.Name))
+			continue
+		}
+		recs = append(recs, r)
 	}
 	if len(recs) == 0 {
-		return nil, fmt.Errorf("%s: no benchmark records", path)
+		return nil, notes, fmt.Errorf("%s: no usable benchmark records", path)
 	}
-	return recs, nil
+	return recs, notes, nil
 }
 
 // run performs the comparison and returns human-readable failures.
 // I/O problems and malformed inputs come back as err (exit 2, not a
 // regression verdict).
 func run(out io.Writer, oldPath, newPath, metric string, maxRegress, minScale float64, scaleBase, scaleTarget string) ([]string, error) {
-	oldRecs, err := load(oldPath)
+	oldRecs, notes, err := load(oldPath)
 	if err != nil {
 		return nil, err
 	}
-	newRecs, err := load(newPath)
+	newRecs, newNotes, err := load(newPath)
 	if err != nil {
 		return nil, err
+	}
+	for _, note := range append(notes, newNotes...) {
+		fmt.Fprintf(out, "note: %s\n", note)
 	}
 	if oc, nc := hostCPUs(oldRecs), hostCPUs(newRecs); oc > 0 || nc > 0 {
 		fmt.Fprintf(out, "host cpus: baseline %s, new run %s\n", cpuLabel(oc), cpuLabel(nc))

@@ -83,3 +83,49 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatal("missing old file must error")
 	}
 }
+
+// TestOlderSchemaBaseline: baselines written by earlier benchjson versions
+// — records missing names or metrics, or fields whose types changed — are
+// reported and skipped, and the usable rows still gate the run.
+func TestOlderSchemaBaseline(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	// Record 0 predates the name field, record 1 has metrics as a string
+	// (type change), record 2 predates metrics, record 3 is usable.
+	mixed := `[
+	  {"iterations":2,"metrics":{"patterns/sec":900}},
+	  {"name":"B/legacy","iterations":2,"metrics":"12345"},
+	  {"name":"B/no-metrics","iterations":2},
+	  {"name":"B/workers=1","iterations":2,"metrics":{"patterns/sec":1000}}
+	]`
+	if err := os.WriteFile(oldPath, []byte(mixed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath,
+		[]byte(`[{"name":"B/workers=1","iterations":2,"metrics":{"patterns/sec":1100}}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	fails, err := run(&out, oldPath, newPath, "patterns/sec", 0.25, 0, "", "")
+	if err != nil {
+		t.Fatalf("older-schema baseline must not error: %v", err)
+	}
+	if len(fails) != 0 {
+		t.Fatalf("unexpected failures: %v", fails)
+	}
+	if got := out.String(); strings.Count(got, "older schema?") != 3 {
+		t.Errorf("want 3 skip notes, output:\n%s", got)
+	}
+
+	// A baseline with nothing usable at all is still a tool error.
+	allBad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(allBad, []byte(`[{"iterations":2}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(io.Discard, allBad, newPath, "patterns/sec", 0.25, 0, "", ""); err == nil ||
+		!strings.Contains(err.Error(), "no usable benchmark records") {
+		t.Fatalf("all-bad baseline: %v", err)
+	}
+}

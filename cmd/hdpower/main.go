@@ -24,6 +24,7 @@ import (
 	"path/filepath"
 
 	"hdpower"
+	"hdpower/internal/atomicio"
 	"hdpower/internal/bdd"
 	"hdpower/internal/core"
 	"hdpower/internal/dwlib"
@@ -158,11 +159,17 @@ func cmdCharacterize(args []string) error {
 	libDir := fs.String("library", "", "also store the model in this library directory")
 	traceOut := fs.String("trace", "", "write the run's flight-recorder manifest (JSON) to this file")
 	logFormat := fs.String("log-format", "", "structured progress log on stderr: text or json (off when empty)")
+	ckptDir := fs.String("checkpoint", "", "checkpoint the run's merged state into this directory (crash-safe)")
+	resume := fs.Bool("resume", false, "resume from the checkpoint left by an interrupted identical run")
+	ckptEvery := fs.Int("checkpoint-every", 0, "checkpoint interval in merged shards (0 = default 16)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if !obs.ValidLogFormat(*logFormat) {
 		return fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat)
+	}
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume needs -checkpoint DIR to know where the checkpoint lives")
 	}
 	nl, err := hdpower.Build(*module, *width)
 	if err != nil {
@@ -172,6 +179,23 @@ func cmdCharacterize(args []string) error {
 	opt := hdpower.CharacterizeOptions{
 		Patterns: *patterns, Enhanced: *enhanced, ZClusters: *zclusters, Seed: *seed,
 		Workers: *workers,
+	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return fmt.Errorf("checkpoint dir: %w", err)
+		}
+		opt.Checkpoint = core.CheckpointOptions{
+			Path: filepath.Join(*ckptDir,
+				fmt.Sprintf("%s-w%d-s%d.ckpt.json", *module, *width, *seed)),
+			EveryShards: *ckptEvery,
+			Resume:      *resume,
+		}
+		opt.Hooks = core.JoinHooks(opt.Hooks, &core.Hooks{
+			Resumed: func(phase string, shards, _, _ int) {
+				fmt.Fprintf(os.Stderr, "resumed from checkpoint: phase %s, %d shards already merged\n",
+					phase, shards)
+			},
+		})
 	}
 	var rec *core.RunRecorder
 	if *traceOut != "" {
@@ -244,13 +268,15 @@ func progressLogHooks(logger *slog.Logger) *core.Hooks {
 	}
 }
 
-// writeManifest persists a flight-recorder manifest as indented JSON.
+// writeManifest persists a flight-recorder manifest as indented JSON,
+// atomically and checksummed: a crash while writing the post-mortem must
+// not destroy it.
 func writeManifest(path string, man *core.RunManifest) error {
 	data, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return atomicio.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func cmdEstimate(args []string) error {

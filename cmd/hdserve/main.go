@@ -53,6 +53,10 @@ func main() {
 		logLevel       = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		traceCapacity  = flag.Int("trace-capacity", 0, "recent-span ring capacity (0 = default 512)")
 		manifestDir    = flag.String("manifest-dir", "", "persist per-build flight-recorder manifests here (off when empty)")
+		checkpointDir  = flag.String("checkpoint-dir", "", "crash-safe builds: checkpoint and recover interrupted builds here (off when empty)")
+		checkpointEach = flag.Int("checkpoint-every", 0, "checkpoint interval in merged shards (0 = default 16)")
+		buildRetries   = flag.Int("build-retries", 0, "retries per transiently failed build (0 = default 2, negative = none)")
+		libraryDir     = flag.String("library", "", "durable model library for persisted builds and degraded estimates (off when empty)")
 	)
 	flag.Parse()
 	if !obs.ValidLogFormat(*logFormat) {
@@ -67,16 +71,20 @@ func main() {
 	logger := obs.NewLogger(os.Stderr, *logFormat, level)
 
 	srv := serve.New(serve.Config{
-		MaxBodyBytes:   *maxBody,
-		RequestTimeout: *requestTimeout,
-		BuildTimeout:   *buildTimeout,
-		BuildWorkers:   *buildWorkers,
-		BuildQueue:     *buildQueue,
-		ModelCache:     *modelCache,
-		CharWorkers:    *charWorkers,
-		Logger:         logger,
-		TraceCapacity:  *traceCapacity,
-		ManifestDir:    *manifestDir,
+		MaxBodyBytes:    *maxBody,
+		RequestTimeout:  *requestTimeout,
+		BuildTimeout:    *buildTimeout,
+		BuildWorkers:    *buildWorkers,
+		BuildQueue:      *buildQueue,
+		ModelCache:      *modelCache,
+		CharWorkers:     *charWorkers,
+		Logger:          logger,
+		TraceCapacity:   *traceCapacity,
+		ManifestDir:     *manifestDir,
+		CheckpointDir:   *checkpointDir,
+		CheckpointEvery: *checkpointEach,
+		BuildRetries:    *buildRetries,
+		LibraryDir:      *libraryDir,
 	})
 	hs := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,195 @@
+package atomicio
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hdpower/internal/faultpoint"
+)
+
+func write(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, data := range [][]byte{
+		[]byte("{\"a\": 1}\n"),
+		[]byte("no trailing newline"),
+		[]byte(""),
+		bytes.Repeat([]byte("x"), 1<<16),
+	} {
+		path := filepath.Join(t.TempDir(), "f.json")
+		write(t, path, data)
+		back, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("ReadFile: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("round trip mismatch: wrote %d bytes, read %d", len(data), len(back))
+		}
+	}
+}
+
+func TestTrailerIsHumanVisible(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.json")
+	write(t, path, []byte("{}\n"))
+	raw, _ := os.ReadFile(path)
+	if !strings.Contains(string(raw), "#hdpower-sha256:") {
+		t.Fatalf("no trailer in %q", raw)
+	}
+}
+
+// TestTruncationDetected is the core corruption story: any truncation of
+// a durable file must fail verification, never parse as valid.
+func TestTruncationDetected(t *testing.T) {
+	full := []byte(`{"module":"adder","coeffs":[1,2,3,4,5,6,7,8]}` + "\n")
+	path := filepath.Join(t.TempDir(), "f.json")
+	write(t, path, full)
+	raw, _ := os.ReadFile(path)
+
+	for cut := 1; cut < len(raw); cut += 7 {
+		if err := os.WriteFile(path, raw[:len(raw)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		payload, err := ReadFile(path)
+		if err == nil {
+			// Losing only cosmetic trailing bytes (e.g. the final newline
+			// of the trailer line) may still verify — but then the payload
+			// must be byte-exact, never silently wrong.
+			if !bytes.Equal(payload, full) {
+				t.Fatalf("truncation by %d bytes loaded a wrong payload", cut)
+			}
+			continue
+		}
+		if !IsCorrupt(err) && !errors.Is(err, ErrNoChecksum) {
+			t.Fatalf("truncation by %d: unexpected error %v", cut, err)
+		}
+		// Cuts that only damage the trailer must quarantine; cuts deep
+		// enough to remove the trailer line entirely degrade to the
+		// legacy path, where callers re-validate.
+		if IsCorrupt(err) {
+			if _, statErr := os.Stat(path + ".corrupt"); statErr != nil {
+				t.Fatalf("cut %d: corrupt file not quarantined: %v", cut, statErr)
+			}
+			if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+				t.Fatalf("cut %d: corrupt file still present", cut)
+			}
+		}
+		os.Remove(path + ".corrupt")
+	}
+}
+
+func TestBitFlipDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.json")
+	write(t, path, []byte(`{"p": 0.25}`+"\n"))
+	raw, _ := os.ReadFile(path)
+	raw[3] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadFile(path)
+	if !IsCorrupt(err) {
+		t.Fatalf("bit flip not detected: %v", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Quarantined == "" {
+		t.Fatalf("not quarantined: %v", err)
+	}
+}
+
+func TestLegacyFileReturnsErrNoChecksum(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.json")
+	if err := os.WriteFile(path, []byte(`{"ok":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := ReadFile(path)
+	if !errors.Is(err, ErrNoChecksum) {
+		t.Fatalf("want ErrNoChecksum, got %v", err)
+	}
+	if string(data) != `{"ok":true}` {
+		t.Fatalf("legacy payload %q", data)
+	}
+}
+
+func TestReadJSON(t *testing.T) {
+	type doc struct {
+		N int `json:"n"`
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.json")
+	if err := WriteJSON(path, doc{N: 7}); err != nil {
+		t.Fatal(err)
+	}
+	var d doc
+	if err := ReadJSON(path, &d); err != nil || d.N != 7 {
+		t.Fatalf("ReadJSON: %v, %+v", err, d)
+	}
+
+	// Valid checksum over invalid JSON (caller wrote garbage) must still
+	// come back corrupt, not as a zero-valued struct.
+	bad := filepath.Join(dir, "bad.json")
+	write(t, bad, []byte("{truncated"))
+	if err := ReadJSON(bad, &d); !IsCorrupt(err) {
+		t.Fatalf("invalid JSON not reported corrupt: %v", err)
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	_, err := ReadFile(filepath.Join(t.TempDir(), "nope.json"))
+	if !os.IsNotExist(err) {
+		t.Fatalf("want IsNotExist, got %v", err)
+	}
+}
+
+func TestWriteReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.json")
+	write(t, path, []byte("old"))
+	write(t, path, []byte("new"))
+	data, err := ReadFile(path)
+	if err != nil || string(data) != "new" {
+		t.Fatalf("got %q, %v", data, err)
+	}
+}
+
+// TestFaultInjectedWriteLeavesDestinationIntact arms the atomicio.write
+// fault point and checks the atomicity contract: the failed write leaves
+// the previous file fully readable.
+func TestFaultInjectedWriteLeavesDestinationIntact(t *testing.T) {
+	faultpoint.Disarm()
+	path := filepath.Join(t.TempDir(), "f.json")
+	write(t, path, []byte("stable state"))
+
+	if err := faultpoint.Arm("atomicio.write=error"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faultpoint.Disarm)
+	err := WriteFile(path, []byte("half-written replacement"), 0o644)
+	if !errors.Is(err, faultpoint.ErrInjected) {
+		t.Fatalf("want injected fault, got %v", err)
+	}
+	faultpoint.Disarm()
+
+	data, rerr := ReadFile(path)
+	if rerr != nil || string(data) != "stable state" {
+		t.Fatalf("destination damaged by failed write: %q, %v", data, rerr)
+	}
+}
+
+func TestMarkCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.json")
+	write(t, path, []byte(`{"schema": "valid json, wrong shape"}`))
+	err := MarkCorrupt(path, "coefficient count mismatch")
+	if !IsCorrupt(err) {
+		t.Fatalf("MarkCorrupt: %v", err)
+	}
+	if _, statErr := os.Stat(path + ".corrupt"); statErr != nil {
+		t.Fatalf("not quarantined: %v", statErr)
+	}
+}

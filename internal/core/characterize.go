@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"runtime"
 
+	"hdpower/internal/faultpoint"
 	"hdpower/internal/logic"
 	"hdpower/internal/power"
 )
@@ -46,8 +47,13 @@ type CharacterizeOptions struct {
 	// Interrupt, if non-nil, is polled at every merged shard boundary;
 	// the first non-nil error aborts the run and Characterize returns it.
 	// Serving layers use this to cancel an in-flight characterization
-	// when its request context expires or the process drains.
+	// when its request context expires or the process drains. When
+	// checkpointing is configured, the merged state is snapshotted before
+	// the abort, so a later Resume continues where the interrupt landed.
 	Interrupt func() error
+	// Checkpoint configures crash-safe snapshots of the merged state and
+	// resuming from them; the zero value disables both.
+	Checkpoint CheckpointOptions
 }
 
 // Hooks observes characterization progress. All fields are optional.
@@ -78,6 +84,15 @@ type Hooks struct {
 	// With ConvergeTol <= 0 checkpoints are still evaluated for this hook
 	// — observability only, never an early stop.
 	Convergence func(patterns int, worstChange float64)
+	// Resumed fires once, before any phase starts, when the run restores
+	// state from a checkpoint: the phase being resumed, plus the shard and
+	// per-phase pattern totals already merged by earlier processes (which
+	// the run's own Patterns/ShardMerged hooks will not replay).
+	Resumed func(phase string, shardsMerged, patternsBasic, patternsBiased int)
+	// CheckpointSaved fires after every checkpoint snapshot attempt with
+	// its write error (nil on success). Snapshot failures never fail the
+	// run — this hook is where they become observable.
+	CheckpointSaved func(err error)
 }
 
 func (h *Hooks) patterns(n int) {
@@ -113,6 +128,18 @@ func (h *Hooks) phaseEnd(phase string) {
 func (h *Hooks) convergence(patterns int, worst float64) {
 	if h != nil && h.Convergence != nil {
 		h.Convergence(patterns, worst)
+	}
+}
+
+func (h *Hooks) resumed(phase string, shards, patternsBasic, patternsBiased int) {
+	if h != nil && h.Resumed != nil {
+		h.Resumed(phase, shards, patternsBasic, patternsBiased)
+	}
+}
+
+func (h *Hooks) checkpointSaved(err error) {
+	if h != nil && h.CheckpointSaved != nil {
+		h.CheckpointSaved(err)
 	}
 }
 
@@ -162,6 +189,16 @@ func JoinHooks(hs ...*Hooks) *Hooks {
 	j.PhaseEnd = func(phase string) {
 		for _, h := range live {
 			h.phaseEnd(phase)
+		}
+	}
+	j.Resumed = func(phase string, shards, patternsBasic, patternsBiased int) {
+		for _, h := range live {
+			h.resumed(phase, shards, patternsBasic, patternsBiased)
+		}
+	}
+	j.CheckpointSaved = func(err error) {
+		for _, h := range live {
+			h.checkpointSaved(err)
 		}
 	}
 	// Only forward Convergence when someone listens: its presence alone
@@ -409,6 +446,7 @@ const (
 // worker's own meter and returns its partial accumulators. The model is
 // only read (immutable bucket geometry), so shards may run concurrently.
 func runCharShard(meter *power.Meter, model *Model, sh shard, seed int64, biased, enhanced bool) *charPartial {
+	faultpoint.Delay("core.shard") // chaos: stragglers must not change the model
 	m := model.InputBits
 	part := &charPartial{patterns: sh.patterns}
 	var ps *PairSource
@@ -484,46 +522,103 @@ func Characterize(meter *power.Meter, moduleName string, opt CharacterizeOptions
 	}
 	meters := meterPool(meter, workers)
 
+	conv := newConvTracker(m, opt.ConvergeTol, opt.CheckEvery)
+	checkpoints := opt.ConvergeTol > 0 || opt.Hooks.wantsConvergence()
+	patternsUsed := 0
+	patternsBiased := 0
+	stopped := false
+	earlyStopAt := 0
+
+	// Crash safety: restore a prior run's merged state when resuming, and
+	// snapshot at shard boundaries while running. Because the accumulators
+	// at a merged-shard boundary are a pure function of the shard prefix,
+	// a resumed run that replays the remaining shards lands on exactly the
+	// accumulators — and therefore the model — of an uninterrupted run.
+	var ck *checkpointer
+	if opt.Checkpoint.Path != "" {
+		ck = newCheckpointer(&opt, moduleName, m)
+	}
+	resume, err := loadResume(&opt, moduleName, m, model, len(plan))
+	if err != nil {
+		return nil, err
+	}
+	basicStart, biasedStart, usedShards := 0, 0, 0
+	basicDone := false
+	if resume != nil {
+		resume.restore(basic, enhanced, conv)
+		patternsUsed = resume.PatternsBasic
+		patternsBiased = resume.PatternsBiased
+		stopped = resume.EarlyStopped
+		earlyStopAt = resume.EarlyStopAt
+		if resume.Phase == PhaseBiased {
+			basicDone = true
+			usedShards = resume.UsedShards
+			biasedStart = resume.ShardsMerged
+		} else {
+			basicStart = resume.ShardsMerged
+		}
+		opt.Hooks.resumed(resume.Phase, resume.totalShardsMerged(),
+			resume.PatternsBasic, resume.PatternsBiased)
+	}
+
 	// Phase 1: unbiased stratified pairs fill the basic classes (and, when
 	// fitting the enhanced table, its unbiased share of the E_{i,z}
 	// classes). The convergence check runs on the merged prefix only, so
 	// the early-stop point is worker-count-independent.
-	conv := newConvTracker(m, opt.ConvergeTol, opt.CheckEvery)
-	checkpoints := opt.ConvergeTol > 0 || opt.Hooks.wantsConvergence()
-	patternsUsed := 0
 	var interrupted error
 	opt.Hooks.phaseStart(PhaseBasic, len(plan), opt.Patterns)
-	usedShards := runShardsOrdered(len(plan), workers,
-		func(w, idx int) *charPartial {
-			return runCharShard(meters[w], model, plan[idx], opt.Seed, false, opt.Enhanced)
-		},
-		func(idx int, part *charPartial) bool {
-			for k := range basic {
-				basic[k].merge(&part.basic[k])
-			}
-			if opt.Enhanced {
-				mergeEnhanced(enhanced, part.enhanced)
-			}
-			patternsUsed += part.patterns
-			opt.Hooks.patterns(part.patterns)
-			opt.Hooks.shardMerged()
-			if opt.Interrupt != nil {
-				if err := opt.Interrupt(); err != nil {
-					interrupted = err
-					return false
+	if !basicDone {
+		merged := runShardsOrdered(len(plan)-basicStart, workers,
+			func(w, idx int) *charPartial {
+				return runCharShard(meters[w], model, plan[basicStart+idx], opt.Seed, false, opt.Enhanced)
+			},
+			func(idx int, part *charPartial) bool {
+				abs := basicStart + idx + 1 // shards merged so far, this one included
+				for k := range basic {
+					basic[k].merge(&part.basic[k])
 				}
-			}
-			if checkpoints {
-				if worst, checked, stop := conv.check(basic, patternsUsed); checked {
-					opt.Hooks.convergence(patternsUsed, worst)
-					if stop {
-						opt.Hooks.earlyStop(patternsUsed)
+				if opt.Enhanced {
+					mergeEnhanced(enhanced, part.enhanced)
+				}
+				patternsUsed += part.patterns
+				opt.Hooks.patterns(part.patterns)
+				opt.Hooks.shardMerged()
+				// The convergence check must precede any snapshot at this
+				// boundary: a checkpoint taken with a due check still
+				// pending would resume into a different check cadence and
+				// break the bit-identical guarantee.
+				if checkpoints {
+					if worst, checked, stop := conv.check(basic, patternsUsed); checked {
+						opt.Hooks.convergence(patternsUsed, worst)
+						if stop {
+							// The stop decision itself is persisted by the
+							// phase-boundary snapshot below, so a crash in
+							// the biased phase never replays the check.
+							stopped = true
+							earlyStopAt = patternsUsed
+							opt.Hooks.earlyStop(patternsUsed)
+							return false
+						}
+					}
+				}
+				cur := cursor{phase: PhaseBasic, shardsMerged: abs, patternsBasic: patternsUsed}
+				if opt.Interrupt != nil {
+					if err := opt.Interrupt(); err != nil {
+						interrupted = err
+						ck.save(cur, basic, enhanced, conv)
 						return false
 					}
 				}
-			}
-			return true
-		})
+				if ferr := faultpoint.Hit("core.merge"); ferr != nil {
+					interrupted = ferr
+					ck.save(cur, basic, enhanced, conv)
+					return false
+				}
+				ck.maybeSave(cur, basic, enhanced, conv)
+				return true
+			})
+		usedShards = basicStart + merged
+	}
 	opt.Hooks.phaseEnd(PhaseBasic)
 	if interrupted != nil {
 		return nil, fmt.Errorf("core: characterization of %s interrupted: %w", moduleName, interrupted)
@@ -536,21 +631,44 @@ func Characterize(meter *power.Meter, moduleName string, opt CharacterizeOptions
 	// unbiased for uniform streams. The biased budget mirrors the shards
 	// phase 1 actually consumed.
 	if opt.Enhanced {
+		if ck != nil && !basicDone {
+			// Phase boundary snapshot: a crash during the biased phase must
+			// not replay the basic phase.
+			ck.save(cursor{
+				phase: PhaseBiased, usedShards: usedShards,
+				patternsBasic: patternsUsed,
+				earlyStopped:  stopped, earlyStopAt: earlyStopAt,
+			}, basic, enhanced, conv)
+		}
 		opt.Hooks.phaseStart(PhaseBiased, usedShards, patternsUsed)
-		runShardsOrdered(usedShards, workers,
+		runShardsOrdered(usedShards-biasedStart, workers,
 			func(w, idx int) *charPartial {
-				return runCharShard(meters[w], model, plan[idx], opt.Seed, true, true)
+				return runCharShard(meters[w], model, plan[biasedStart+idx], opt.Seed, true, true)
 			},
 			func(idx int, part *charPartial) bool {
+				abs := biasedStart + idx + 1
 				mergeEnhanced(enhanced, part.enhanced)
+				patternsBiased += part.patterns
 				opt.Hooks.patterns(part.patterns)
 				opt.Hooks.shardMerged()
+				cur := cursor{
+					phase: PhaseBiased, shardsMerged: abs, usedShards: usedShards,
+					patternsBasic: patternsUsed, patternsBiased: patternsBiased,
+					earlyStopped: stopped, earlyStopAt: earlyStopAt,
+				}
 				if opt.Interrupt != nil {
 					if err := opt.Interrupt(); err != nil {
 						interrupted = err
+						ck.save(cur, basic, enhanced, conv)
 						return false
 					}
 				}
+				if ferr := faultpoint.Hit("core.merge"); ferr != nil {
+					interrupted = ferr
+					ck.save(cur, basic, enhanced, conv)
+					return false
+				}
+				ck.maybeSave(cur, basic, enhanced, conv)
 				return true
 			})
 		opt.Hooks.phaseEnd(PhaseBiased)
@@ -558,6 +676,9 @@ func Characterize(meter *power.Meter, moduleName string, opt CharacterizeOptions
 			return nil, fmt.Errorf("core: characterization of %s interrupted: %w", moduleName, interrupted)
 		}
 	}
+	// The run is complete; a leftover checkpoint would make the next run
+	// of this spec resume into an already-finished state.
+	ck.remove()
 
 	for k := range basic {
 		model.Basic[k] = basic[k].coef()

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hdpower/internal/faultpoint"
+)
+
+// ckOpts is the shared run shape of the resume tests: enhanced fit over
+// 10 shards per phase, so kills land in both phases.
+func ckOpts(workers int) CharacterizeOptions {
+	return CharacterizeOptions{
+		Patterns: 1280,
+		Enhanced: true,
+		Seed:     11,
+		Workers:  workers,
+	}
+}
+
+func marshal(t *testing.T, m *Model) []byte {
+	t.Helper()
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// killAt arms the core.merge fault point to fail the k-th merged shard,
+// runs Characterize, and requires the injected failure to surface.
+func killAt(t *testing.T, k int, opt CharacterizeOptions) {
+	t.Helper()
+	faultpoint.Disarm()
+	if err := faultpoint.Arm(fmt.Sprintf("core.merge=error:after=%d", k)); err != nil {
+		t.Fatal(err)
+	}
+	defer faultpoint.Disarm()
+	_, err := Characterize(meterFor(t, "ripple-adder", 4), "ripple-adder", opt)
+	if !errors.Is(err, faultpoint.ErrInjected) {
+		t.Fatalf("kill at merge %d: want injected fault, got %v", k, err)
+	}
+}
+
+// TestCheckpointResumeBitIdentical is the crash-safety contract: a run
+// killed at ANY merged-shard boundary — basic phase, phase transition,
+// biased phase — and resumed from its checkpoint produces byte-identical
+// coefficients to an uninterrupted run, for every worker count.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	base, err := Characterize(meterFor(t, "ripple-adder", 4), "ripple-adder", ckOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := marshal(t, base)
+	const totalMerges = 20 // 10 basic shards + 10 biased shards
+
+	for _, workers := range []int{1, 2, 4} {
+		kills := []int{1, 4, 9, 10, 11, 16, 20}
+		if workers == 2 {
+			kills = nil
+			for k := 1; k <= totalMerges; k++ {
+				kills = append(kills, k)
+			}
+		}
+		for _, k := range kills {
+			path := filepath.Join(t.TempDir(), "ck.json")
+			opt := ckOpts(workers)
+			opt.Checkpoint = CheckpointOptions{Path: path, Resume: true, EveryShards: 4}
+
+			killAt(t, k, opt)
+			if _, err := os.Stat(path); err != nil {
+				t.Fatalf("workers=%d kill=%d: no checkpoint after kill: %v", workers, k, err)
+			}
+
+			got, err := Characterize(meterFor(t, "ripple-adder", 4), "ripple-adder", opt)
+			if err != nil {
+				t.Fatalf("workers=%d kill=%d: resume failed: %v", workers, k, err)
+			}
+			if !bytes.Equal(marshal(t, got), want) {
+				t.Errorf("workers=%d kill=%d: resumed model differs from uninterrupted run", workers, k)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Errorf("workers=%d kill=%d: checkpoint not removed after success", workers, k)
+			}
+		}
+	}
+}
+
+// TestCheckpointResumeAfterSecondCrash chains two crashes: kill, resume,
+// kill again later, resume again — still bit-identical.
+func TestCheckpointResumeAfterSecondCrash(t *testing.T) {
+	base, err := Characterize(meterFor(t, "ripple-adder", 4), "ripple-adder", ckOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := ckOpts(2)
+	opt.Checkpoint = CheckpointOptions{
+		Path: filepath.Join(t.TempDir(), "ck.json"), Resume: true, EveryShards: 3,
+	}
+	killAt(t, 5, opt) // first crash mid-basic
+	killAt(t, 8, opt) // resumed run crashes again, mid-biased this time
+	got, err := Characterize(meterFor(t, "ripple-adder", 4), "ripple-adder", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshal(t, got), marshal(t, base)) {
+		t.Error("doubly-resumed model differs from uninterrupted run")
+	}
+}
+
+// TestCheckpointResumePreservesEarlyStop kills the run in the biased
+// phase of an early-stopped fit: the resumed run must not replay (or
+// re-decide) the convergence stop, and the model must match.
+func TestCheckpointResumePreservesEarlyStop(t *testing.T) {
+	opts := func() CharacterizeOptions {
+		return CharacterizeOptions{
+			Patterns:    2560,
+			Enhanced:    true,
+			Seed:        5,
+			Workers:     2,
+			ConvergeTol: 0.9,
+			CheckEvery:  256,
+		}
+	}
+	var stoppedAt, merges int
+	opt := opts()
+	opt.Hooks = &Hooks{
+		EarlyStop:   func(used int) { stoppedAt = used },
+		ShardMerged: func() { merges++ },
+	}
+	base, err := Characterize(meterFor(t, "ripple-adder", 4), "ripple-adder", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stoppedAt == 0 {
+		t.Fatalf("baseline did not early-stop; got %d merges", merges)
+	}
+	kill := merges - 1 // inside the biased phase (its last shard but one)
+	if kill <= stoppedAt/shardPatterns {
+		t.Fatalf("kill point %d not in the biased phase", kill)
+	}
+
+	opt = opts()
+	opt.Checkpoint = CheckpointOptions{
+		Path: filepath.Join(t.TempDir(), "ck.json"), Resume: true,
+	}
+	killAt(t, kill, opt)
+
+	var resumedPhase string
+	var resumedStop bool
+	opt.Hooks = &Hooks{
+		Resumed:   func(phase string, _, _, _ int) { resumedPhase = phase },
+		EarlyStop: func(int) { resumedStop = true },
+	}
+	got, err := Characterize(meterFor(t, "ripple-adder", 4), "ripple-adder", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumedPhase != PhaseBiased {
+		t.Errorf("resumed phase %q, want %q", resumedPhase, PhaseBiased)
+	}
+	if resumedStop {
+		t.Error("resumed run re-fired the early stop")
+	}
+	if !bytes.Equal(marshal(t, got), marshal(t, base)) {
+		t.Error("resumed early-stopped model differs from uninterrupted run")
+	}
+}
+
+// TestCheckpointMismatch refuses to resume a checkpoint from a different
+// run, naming the differing fields.
+func TestCheckpointMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	opt := ckOpts(2)
+	opt.Checkpoint = CheckpointOptions{Path: path, Resume: true}
+	killAt(t, 3, opt)
+
+	opt.Seed = 12
+	_, err := Characterize(meterFor(t, "ripple-adder", 4), "ripple-adder", opt)
+	if !IsCheckpointMismatch(err) {
+		t.Fatalf("want checkpoint mismatch, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "seed") {
+		t.Errorf("mismatch error does not name the seed: %v", err)
+	}
+	if _, statErr := os.Stat(path); statErr != nil {
+		t.Errorf("mismatched checkpoint must be left in place: %v", statErr)
+	}
+}
+
+// TestCorruptCheckpointStartsFresh flips a byte in the checkpoint: the
+// resume must quarantine it and fall back to a full — still correct — run.
+func TestCorruptCheckpointStartsFresh(t *testing.T) {
+	base, err := Characterize(meterFor(t, "ripple-adder", 4), "ripple-adder", ckOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ck.json")
+	opt := ckOpts(2)
+	opt.Checkpoint = CheckpointOptions{Path: path, Resume: true}
+	killAt(t, 4, opt)
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/3] ^= 0x20
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := Characterize(meterFor(t, "ripple-adder", 4), "ripple-adder", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshal(t, got), marshal(t, base)) {
+		t.Error("fresh run after corrupt checkpoint differs from baseline")
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Errorf("corrupt checkpoint not quarantined: %v", err)
+	}
+}
+
+// TestResumeManifestTotals checks that a resumed run's flight-recorder
+// manifest reports whole-run totals, not just the resumed segment.
+func TestResumeManifestTotals(t *testing.T) {
+	opt := ckOpts(2)
+	opt.Checkpoint = CheckpointOptions{
+		Path: filepath.Join(t.TempDir(), "ck.json"), Resume: true, EveryShards: 4,
+	}
+	saves := 0
+	opt.Hooks = &Hooks{CheckpointSaved: func(err error) {
+		if err != nil {
+			t.Errorf("checkpoint save failed: %v", err)
+		}
+		saves++
+	}}
+	killAt(t, 7, opt)
+	if saves == 0 {
+		t.Fatal("no checkpoint saves observed before the kill")
+	}
+
+	rec := NewRunRecorder("ripple-adder", opt)
+	opt.Hooks = rec.Hooks()
+	model, err := Characterize(meterFor(t, "ripple-adder", 4), "ripple-adder", opt)
+	man := rec.Finish(model, err)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !man.Resumed || man.ResumedFromPhase != PhaseBasic {
+		t.Errorf("manifest resumed=%v phase=%q", man.Resumed, man.ResumedFromPhase)
+	}
+	if man.PatternsBasic != 1280 || man.PatternsBiased != 1280 {
+		t.Errorf("manifest patterns %d/%d, want 1280/1280", man.PatternsBasic, man.PatternsBiased)
+	}
+	if man.ShardsMerged != 20 {
+		t.Errorf("manifest shards merged %d, want 20", man.ShardsMerged)
+	}
+}
+
+// TestLoadCheckpointMissing keeps the os sentinel contract.
+func TestLoadCheckpointMissing(t *testing.T) {
+	_, err := LoadCheckpoint(filepath.Join(t.TempDir(), "nope.json"))
+	if !os.IsNotExist(err) {
+		t.Fatalf("want IsNotExist, got %v", err)
+	}
+}

@@ -57,6 +57,12 @@ type RunManifest struct {
 	// consumed.
 	EarlyStop           bool `json:"early_stop"`
 	EarlyStopAtPatterns int  `json:"early_stop_at_patterns,omitempty"`
+	// Resumed records that the run restored state from a checkpoint of an
+	// earlier process; ResumedFromPhase is the phase it continued in. The
+	// pattern and shard totals include the restored portion, but
+	// WallSeconds/CPUSeconds cover only the resumed segment.
+	Resumed          bool   `json:"resumed,omitempty"`
+	ResumedFromPhase string `json:"resumed_from_phase,omitempty"`
 	// Convergence is the checkpoint trajectory (needs either a positive
 	// ConvergeTol or any Convergence hook listener).
 	Convergence []ConvergencePoint `json:"convergence,omitempty"`
@@ -164,6 +170,17 @@ func (r *RunRecorder) Hooks() *Hooks {
 			defer r.mu.Unlock()
 			r.man.EarlyStop = true
 			r.man.EarlyStopAtPatterns = used
+		},
+		Resumed: func(phase string, shards, patternsBasic, patternsBiased int) {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			r.man.Resumed = true
+			r.man.ResumedFromPhase = phase
+			// Fold the restored progress in, so the manifest totals describe
+			// the whole run, not just the resumed segment.
+			r.man.ShardsMerged += shards
+			r.man.PatternsBasic += patternsBasic
+			r.man.PatternsBiased += patternsBiased
 		},
 	}
 }

@@ -1,0 +1,144 @@
+package modellib
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hdpower/internal/atomicio"
+	"hdpower/internal/core"
+)
+
+// modelPath is the on-disk location of a stored instance model.
+func modelPath(lib *Library, module string, width int, enhanced bool) string {
+	return filepath.Join(lib.Root(), "models", modelKey(module, width, enhanced))
+}
+
+// TestPartialModelWriteDetected is the regression test for the non-atomic
+// writes this package used to do: a partially-written (truncated) model
+// file must be detected on load and quarantined, never parsed as valid.
+func TestPartialModelWriteDetected(t *testing.T) {
+	lib, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.PutModel("ripple-adder", 4, testModel("ripple-adder", 8, true)); err != nil {
+		t.Fatal(err)
+	}
+	path := modelPath(lib, "ripple-adder", 4, true)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash window of a plain os.WriteFile: 60% of the bytes.
+	if err := os.WriteFile(path, raw[:len(raw)*6/10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = lib.GetModel("ripple-adder", 4, true)
+	if !atomicio.IsCorrupt(err) {
+		t.Fatalf("truncated model loaded: %v", err)
+	}
+	if _, statErr := os.Stat(path + ".corrupt"); statErr != nil {
+		t.Errorf("truncated model not quarantined: %v", statErr)
+	}
+	// After quarantine the lookup degrades to a clean miss.
+	if _, err := lib.GetModel("ripple-adder", 4, true); err == nil || atomicio.IsCorrupt(err) {
+		t.Errorf("quarantined model still poisons lookups: %v", err)
+	}
+}
+
+// TestLegacyModelWithoutChecksumLoads keeps pre-atomicio libraries
+// readable: plain JSON without a trailer is re-validated and accepted.
+func TestLegacyModelWithoutChecksumLoads(t *testing.T) {
+	lib, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := testModel("ripple-adder", 8, false).MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(modelPath(lib, "ripple-adder", 4, false), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := lib.GetModel("ripple-adder", 4, false)
+	if err != nil {
+		t.Fatalf("legacy model rejected: %v", err)
+	}
+	if m.InputBits != 8 {
+		t.Errorf("legacy model mangled: %d input bits", m.InputBits)
+	}
+}
+
+// TestLegacyGarbageQuarantined: a legacy file that fails validation is
+// corrupt, not a zero-valued model.
+func TestLegacyGarbageQuarantined(t *testing.T) {
+	lib, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := modelPath(lib, "ripple-adder", 4, false)
+	if err := os.WriteFile(path, []byte(`{"module":"ripple-adder","input_bits":-3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lib.GetModel("ripple-adder", 4, false); !atomicio.IsCorrupt(err) {
+		t.Fatalf("invalid legacy model loaded: %v", err)
+	}
+	if _, statErr := os.Stat(path + ".corrupt"); statErr != nil {
+		t.Errorf("invalid legacy model not quarantined: %v", statErr)
+	}
+}
+
+// TestPartialParamWriteDetected covers the same crash window for stored
+// width regressions.
+func TestPartialParamWriteDetected(t *testing.T) {
+	lib, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := fitTestParam(t)
+	if err := lib.PutParam(pm); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(lib.Root(), "params", pm.Module+"-"+pm.Basis.Name+".json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lib.GetParam(pm.Module); !atomicio.IsCorrupt(err) {
+		t.Fatalf("truncated regression loaded: %v", err)
+	}
+}
+
+// TestVerifyModelCoefficientCount pins the paper's M = (m²+m)/2 invariant
+// for full-resolution enhanced tables.
+func TestVerifyModelCoefficientCount(t *testing.T) {
+	good := testModel("x", 6, true)
+	if err := verifyModel(good); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+	bad := testModel("x", 6, true)
+	bad.Enhanced[2] = append(bad.Enhanced[2], core.Coef{})
+	err := verifyModel(bad)
+	if err == nil {
+		t.Fatal("oversized enhanced table accepted")
+	}
+	if !strings.Contains(err.Error(), "(m²+m)/2") {
+		t.Errorf("invariant not named: %v", err)
+	}
+	// Clustered tables are exempt: their class count is intentionally
+	// smaller than the full-resolution bound.
+	clustered := &core.Model{Module: "x", InputBits: 6, ZClusters: 2,
+		Basic: make([]core.Coef, 6), Enhanced: make([][]core.Coef, 6)}
+	for i := 1; i <= 6; i++ {
+		clustered.Enhanced[i-1] = make([]core.Coef, clustered.NumZBuckets(i))
+	}
+	if err := verifyModel(clustered); err != nil {
+		t.Errorf("clustered table rejected: %v", err)
+	}
+}

@@ -8,17 +8,24 @@
 //	<root>/params/<module>-<basis>.json
 //
 // The library is the persistence layer behind `cmd/hdpower -library`
-// workflows: characterize once, estimate forever.
+// workflows: characterize once, estimate forever. Writes are atomic and
+// checksummed (internal/atomicio): a crash mid-write never tears a stored
+// model, and a torn or tampered file is quarantined on load and reported
+// as a typed corruption error instead of parsing as a (wrong) model.
+// Files written by older versions — valid JSON without a checksum trailer
+// — still load; they are re-validated structurally instead.
 package modellib
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
+	"hdpower/internal/atomicio"
 	"hdpower/internal/core"
 	"hdpower/internal/regress"
 )
@@ -65,7 +72,43 @@ func (l *Library) PutModel(module string, width int, model *core.Model) error {
 	}
 	data = append(data, '\n')
 	path := filepath.Join(l.root, "models", modelKey(module, width, model.HasEnhanced()))
-	return os.WriteFile(path, data, 0o644)
+	return atomicio.WriteFile(path, data, 0o644)
+}
+
+// verifyModel checks the load-time coefficient-count invariants beyond
+// Model.Validate: a full-resolution enhanced table must carry exactly
+// M = (m²+m)/2 coefficients (the paper's class count).
+func verifyModel(m *core.Model) error {
+	if !m.HasEnhanced() || m.ZClusters > 0 {
+		return nil
+	}
+	got := 0
+	for _, row := range m.Enhanced {
+		got += len(row)
+	}
+	if want := (m.InputBits*m.InputBits + m.InputBits) / 2; got != want {
+		return fmt.Errorf("enhanced table has %d coefficients, want (m²+m)/2 = %d for m=%d",
+			got, want, m.InputBits)
+	}
+	return nil
+}
+
+// loadModelFile reads, checksum-verifies, parses and validates one stored
+// model file. Files that fail any of those stages are quarantined and
+// reported as *atomicio.CorruptError.
+func loadModelFile(path string) (*core.Model, error) {
+	data, err := atomicio.ReadFile(path)
+	if err != nil && !errors.Is(err, atomicio.ErrNoChecksum) {
+		return nil, err
+	}
+	m, perr := core.LoadModel(data)
+	if perr != nil {
+		return nil, atomicio.MarkCorrupt(path, perr.Error())
+	}
+	if verr := verifyModel(m); verr != nil {
+		return nil, atomicio.MarkCorrupt(path, verr.Error())
+	}
+	return m, nil
 }
 
 // GetModel loads an instance model. With enhanced=true only an
@@ -77,14 +120,14 @@ func (l *Library) GetModel(module string, width int, enhanced bool) (*core.Model
 		candidates = append(candidates, modelKey(module, width, true))
 	}
 	for _, key := range candidates {
-		data, err := os.ReadFile(filepath.Join(l.root, "models", key))
+		m, err := loadModelFile(filepath.Join(l.root, "models", key))
 		if os.IsNotExist(err) {
 			continue
 		}
 		if err != nil {
 			return nil, err
 		}
-		return core.LoadModel(data)
+		return m, nil
 	}
 	return nil, fmt.Errorf("modellib: no model for %s width %d (enhanced=%v) in %s",
 		module, width, enhanced, l.root)
@@ -143,7 +186,7 @@ func (l *Library) PutParam(pm *regress.ParamModel) error {
 	data = append(data, '\n')
 	path := filepath.Join(l.root, "params",
 		fmt.Sprintf("%s-%s.json", pm.Module, pm.Basis.Name))
-	return os.WriteFile(path, data, 0o644)
+	return atomicio.WriteFile(path, data, 0o644)
 }
 
 // GetParam loads the fitted regression model of a module family with the
@@ -152,11 +195,18 @@ func (l *Library) GetParam(module string) (*regress.ParamModel, error) {
 	basis := regress.BasisFor(module)
 	path := filepath.Join(l.root, "params",
 		fmt.Sprintf("%s-%s.json", module, basis.Name))
-	data, err := os.ReadFile(path)
-	if err != nil {
+	data, err := atomicio.ReadFile(path)
+	if err != nil && !errors.Is(err, atomicio.ErrNoChecksum) {
+		if atomicio.IsCorrupt(err) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("modellib: %w", err)
 	}
-	return regress.LoadParamModel(data)
+	pm, perr := regress.LoadParamModel(data)
+	if perr != nil {
+		return nil, atomicio.MarkCorrupt(path, perr.Error())
+	}
+	return pm, nil
 }
 
 // Model returns the model for (module, width), preferring a stored

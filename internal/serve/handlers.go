@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"net/http"
 
-	"hdpower/internal/core"
 	"hdpower/internal/hddist"
 	"hdpower/internal/logic"
 	"hdpower/internal/stats"
@@ -50,23 +49,6 @@ func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// lookupModel fetches a ready model for a spec, answering 400/404
-// directly on failure.
-func (s *Server) lookupModel(w http.ResponseWriter, spec *BuildSpec) (*core.Model, bool) {
-	if err := spec.normalize(); err != nil {
-		writeError(w, http.StatusBadRequest, "model spec: %v", err)
-		return nil, false
-	}
-	model, ok := s.cache.ready(spec.Key())
-	if !ok {
-		writeError(w, http.StatusNotFound,
-			"model %s not built; POST /v1/models/build first", spec.Key())
-		return nil, false
-	}
-	s.met.cacheHits.Inc()
-	return model, true
-}
-
 type estimateRequest struct {
 	Model BuildSpec `json:"model"`
 	// Hd estimates directly from per-cycle Hamming-distance classes,
@@ -85,6 +67,11 @@ type estimateResponse struct {
 	Estimates []float64 `json:"estimates"`
 	Total     float64   `json:"total"`
 	Mean      float64   `json:"mean"`
+	// Degraded marks an answer served from a fallback model instead of the
+	// exact cached one; Fallback names the rung ("seed", "library",
+	// "regression").
+	Degraded bool   `json:"degraded,omitempty"`
+	Fallback string `json:"fallback,omitempty"`
 }
 
 // handleEstimate is the fast path: per-cycle charge from the fitted
@@ -94,7 +81,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	model, ok := s.lookupModel(w, &req.Model)
+	model, fallback, ok := s.resolveModel(w, &req.Model)
 	if !ok {
 		return
 	}
@@ -194,6 +181,8 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		Estimates: est,
 		Total:     total,
 		Mean:      mean,
+		Degraded:  fallback != "",
+		Fallback:  fallback,
 	})
 }
 
@@ -217,6 +206,8 @@ type statsResponse struct {
 	AvgCharge float64     `json:"avg_charge"`
 	AvgHd     float64     `json:"avg_hd"`
 	Dist      hddist.Dist `json:"hd_dist"`
+	Degraded  bool        `json:"degraded,omitempty"`
+	Fallback  string      `json:"fallback,omitempty"`
 }
 
 // handleEstimateStats is the closed-form path: no vectors ever cross the
@@ -228,7 +219,7 @@ func (s *Server) handleEstimateStats(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	model, ok := s.lookupModel(w, &req.Model)
+	model, fallback, ok := s.resolveModel(w, &req.Model)
 	if !ok {
 		return
 	}
@@ -273,6 +264,8 @@ func (s *Server) handleEstimateStats(w http.ResponseWriter, r *http.Request) {
 		AvgCharge: avg,
 		AvgHd:     dist.Mean(),
 		Dist:      dist,
+		Degraded:  fallback != "",
+		Fallback:  fallback,
 	})
 }
 
@@ -322,6 +315,7 @@ func (s *Server) handleModelBuild(w http.ResponseWriter, r *http.Request) {
 		select {
 		case s.queue <- ent:
 			s.met.queueDepth.Add(1)
+			s.writeBuildSpec(ent)
 		default:
 			s.buildWG.Done()
 			s.cache.abandon(ent)

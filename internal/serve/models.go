@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"context"
 	"fmt"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -174,6 +175,28 @@ func (c *modelCache) ready(key string) (*core.Model, bool) {
 	return ent.model, true
 }
 
+// readySibling returns a ready model for the same module and width under
+// any seed — the first degradation rung when the exact key is not cached.
+// Candidates are scanned in ascending seed order so the fallback is
+// deterministic across requests.
+func (c *modelCache) readySibling(module string, width int) (*core.Model, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best *buildEntry
+	for _, ent := range c.entries {
+		if ent.status != statusReady || ent.spec.Module != module || ent.spec.Width != width {
+			continue
+		}
+		if best == nil || ent.spec.Seed < best.spec.Seed {
+			best = ent
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	return best.model, true
+}
+
 // begin implements the singleflight: it returns the entry for spec's key
 // and whether the caller owns a brand-new build (and must enqueue it).
 // A failed entry is replaced so clients can retry.
@@ -279,7 +302,7 @@ func (s *Server) characterize(ctx context.Context, spec BuildSpec, hooks *core.H
 	if err != nil {
 		return nil, err
 	}
-	return core.Characterize(meter, fmt.Sprintf("%s-w%d", spec.Module, spec.Width), core.CharacterizeOptions{
+	opt := core.CharacterizeOptions{
 		Patterns:  spec.Patterns,
 		Seed:      spec.Seed,
 		Enhanced:  spec.Enhanced,
@@ -287,5 +310,24 @@ func (s *Server) characterize(ctx context.Context, spec BuildSpec, hooks *core.H
 		Workers:   s.cfg.CharWorkers,
 		Hooks:     hooks,
 		Interrupt: func() error { return ctx.Err() },
-	})
+	}
+	if s.cfg.CheckpointDir != "" {
+		opt.Checkpoint = core.CheckpointOptions{
+			Path:        s.checkpointPath(buildID(spec.Key())),
+			EveryShards: s.cfg.CheckpointEvery,
+			Resume:      true,
+		}
+	}
+	name := fmt.Sprintf("%s-w%d", spec.Module, spec.Width)
+	model, err := core.Characterize(meter, name, opt)
+	if core.IsCheckpointMismatch(err) {
+		// A stale checkpoint from a run with different options (e.g. the
+		// server was restarted with new defaults). The spec in hand is
+		// authoritative; drop the leftover and characterize fresh.
+		s.log.Warn("stale checkpoint does not match build; restarting fresh",
+			"key", spec.Key(), "err", err)
+		_ = os.Remove(opt.Checkpoint.Path)
+		model, err = core.Characterize(meter, name, opt)
+	}
+	return model, err
 }

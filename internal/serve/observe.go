@@ -7,15 +7,16 @@ package serve
 // listener.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
-	"os"
 	"path/filepath"
 	"strconv"
 	"time"
 
+	"hdpower/internal/atomicio"
 	"hdpower/internal/core"
 	"hdpower/internal/obs"
 )
@@ -153,7 +154,7 @@ func (s *Server) persistManifest(id string, man *core.RunManifest) {
 		return
 	}
 	path := filepath.Join(s.cfg.ManifestDir, id+".manifest.json")
-	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+	if err := atomicio.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
 		s.log.Error("manifest write", "id", id, "err", err)
 		return
 	}
@@ -161,18 +162,20 @@ func (s *Server) persistManifest(id string, man *core.RunManifest) {
 }
 
 // dumpTraces persists the span ring on Close when a ManifestDir is
-// configured, giving crashed-in-CI runs a post-mortem artifact.
+// configured, giving crashed-in-CI runs a post-mortem artifact. The dump
+// is buffered and written atomically so an interrupted shutdown cannot
+// leave a torn traces.json shadowing an earlier good one.
 func (s *Server) dumpTraces() {
 	if s.cfg.ManifestDir == "" {
 		return
 	}
-	f, err := os.Create(filepath.Join(s.cfg.ManifestDir, "traces.json"))
-	if err != nil {
-		s.log.Error("trace dump create", "err", err)
+	var buf bytes.Buffer
+	if err := s.tracer.WriteJSON(&buf); err != nil {
+		s.log.Error("trace dump encode", "err", err)
 		return
 	}
-	defer f.Close()
-	if err := s.tracer.WriteJSON(f); err != nil {
+	path := filepath.Join(s.cfg.ManifestDir, "traces.json")
+	if err := atomicio.WriteFile(path, buf.Bytes(), 0o644); err != nil {
 		s.log.Error("trace dump write", "err", err)
 	}
 }

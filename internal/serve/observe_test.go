@@ -13,6 +13,7 @@ import (
 	"strings"
 	"testing"
 
+	"hdpower/internal/atomicio"
 	"hdpower/internal/core"
 	"hdpower/internal/obs"
 )
@@ -136,8 +137,9 @@ func TestManifestRoundTrip(t *testing.T) {
 		t.Errorf("manifest error on success: %q", man.Error)
 	}
 
-	// The persisted copy matches the served one.
-	raw, err := os.ReadFile(filepath.Join(dir, id+".manifest.json"))
+	// The persisted copy matches the served one. It is checksummed on
+	// disk, so it comes back through atomicio.
+	raw, err := atomicio.ReadFile(filepath.Join(dir, id+".manifest.json"))
 	if err != nil {
 		t.Fatalf("persisted manifest: %v", err)
 	}
@@ -160,6 +162,7 @@ func TestManifestRoundTrip(t *testing.T) {
 // the error and stays retrievable while the failed entry lingers.
 func TestFailedBuildManifest(t *testing.T) {
 	_, ts := newTestServer(t, Config{
+		BuildRetries: -1,
 		BuildFunc: func(ctx context.Context, spec BuildSpec, hooks *core.Hooks) (*core.Model, error) {
 			hooks.PhaseStart(core.PhaseBasic, 2, 256)
 			hooks.PatternsSimulated(128)

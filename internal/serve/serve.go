@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"os"
 	"runtime/debug"
@@ -40,6 +41,8 @@ import (
 	"time"
 
 	"hdpower/internal/core"
+	"hdpower/internal/faultpoint"
+	"hdpower/internal/modellib"
 	"hdpower/internal/obs"
 )
 
@@ -73,6 +76,29 @@ type Config struct {
 	// build as <dir>/<build id>.manifest.json, and Close dumps the span
 	// ring to <dir>/traces.json.
 	ManifestDir string
+	// CheckpointDir, when set, makes builds crash-safe: each build
+	// checkpoints its merged characterization state to
+	// <dir>/<build id>.ckpt.json and records its spec as
+	// <dir>/<build id>.spec.json. A restarted server re-enqueues the
+	// recorded builds and resumes them from their checkpoints, producing
+	// bit-identical models to an uninterrupted build.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint interval in merged shards
+	// (default 16).
+	CheckpointEvery int
+	// BuildRetries is how many times a transiently failed build attempt is
+	// retried with capped exponential backoff before the build settles as
+	// failed (default 2; negative disables retries). Context cancellation,
+	// timeouts and checkpoint mismatches are never retried.
+	BuildRetries int
+	// BuildRetryBackoff is the base backoff before the first retry
+	// (default 250ms), doubling per attempt with full jitter, capped at 5s.
+	BuildRetryBackoff time.Duration
+	// LibraryDir, when set, opens a durable model library (modellib): every
+	// successful build is persisted there, and /v1/estimate degrades to
+	// library models (or width-regression synthesis) when the requested
+	// model is not cached — answers marked "degraded" instead of 404.
+	LibraryDir string
 }
 
 func (c *Config) setDefaults() {
@@ -93,6 +119,18 @@ func (c *Config) setDefaults() {
 	}
 	if c.ModelCache <= 0 {
 		c.ModelCache = 64
+	}
+	if c.BuildRetries == 0 {
+		c.BuildRetries = 2
+	}
+	if c.BuildRetries < 0 {
+		c.BuildRetries = 0
+	}
+	if c.BuildRetryBackoff <= 0 {
+		c.BuildRetryBackoff = 250 * time.Millisecond
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 16
 	}
 }
 
@@ -115,6 +153,12 @@ type metrics struct {
 	charPatterns   *obs.Counter
 	charShards     *obs.Counter
 	charEarlyStops *obs.Counter
+
+	buildRetries    *obs.Counter
+	buildsRecovered *obs.Counter
+	buildsResumed   *obs.Counter
+	ckptSaves       *obs.Counter
+	ckptFailures    *obs.Counter
 }
 
 func newMetrics() *metrics {
@@ -136,7 +180,21 @@ func newMetrics() *metrics {
 		charPatterns:   reg.Counter("hdserve_char_patterns_total", "characterization pairs simulated"),
 		charShards:     reg.Counter("hdserve_char_shards_merged_total", "characterization shards merged"),
 		charEarlyStops: reg.Counter("hdserve_char_early_stops_total", "characterization runs ended early by convergence"),
+
+		buildRetries:    reg.Counter("hdserve_model_build_retries_total", "transiently failed build attempts retried"),
+		buildsRecovered: reg.Counter("hdserve_builds_recovered_total", "interrupted builds re-enqueued at startup"),
+		buildsResumed:   reg.Counter("hdserve_builds_resumed_total", "characterization runs resumed from a checkpoint"),
+		ckptSaves:       reg.Counter("hdserve_checkpoint_saves_total", "characterization checkpoints written"),
+		ckptFailures:    reg.Counter("hdserve_checkpoint_failures_total", "characterization checkpoint writes that failed"),
 	}
+}
+
+// estimateDegraded counts estimate answers served from a fallback model,
+// labeled by which rung of the degradation chain answered.
+func (m *metrics) estimateDegraded(fallback string) *obs.Counter {
+	return m.reg.CounterL("hdserve_estimate_degraded_total",
+		"estimate requests answered from a fallback model instead of the requested one",
+		[]obs.Label{{Key: "fallback", Value: fallback}})
 }
 
 func (m *metrics) request(path string, code int) *obs.Counter {
@@ -158,6 +216,7 @@ type Server struct {
 	hooks  *core.Hooks
 	tracer *obs.Tracer
 	log    *slog.Logger
+	lib    *modellib.Library // nil unless LibraryDir is configured and opens
 
 	queue     chan *buildEntry
 	buildWG   sync.WaitGroup // queued + running builds
@@ -195,10 +254,39 @@ func New(cfg Config) *Server {
 			s.cfg.ManifestDir = ""
 		}
 	}
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			s.log.Error("checkpoint dir unavailable; crash-safe builds disabled",
+				"dir", cfg.CheckpointDir, "err", err)
+			s.cfg.CheckpointDir = ""
+		}
+	}
+	if cfg.LibraryDir != "" {
+		lib, err := modellib.Open(cfg.LibraryDir)
+		if err != nil {
+			s.log.Error("model library unavailable; degraded estimates disabled",
+				"dir", cfg.LibraryDir, "err", err)
+		} else {
+			s.lib = lib
+		}
+	}
 	s.hooks = &core.Hooks{
 		PatternsSimulated: func(n int) { met.charPatterns.Add(int64(n)) },
 		ShardMerged:       func() { met.charShards.Inc() },
 		EarlyStop:         func(int) { met.charEarlyStops.Inc() },
+		Resumed: func(phase string, shards, _, _ int) {
+			met.buildsResumed.Inc()
+			s.log.Info("characterization resumed from checkpoint",
+				"phase", phase, "shards_restored", shards)
+		},
+		CheckpointSaved: func(err error) {
+			if err != nil {
+				met.ckptFailures.Inc()
+				s.log.Warn("checkpoint write failed", "err", err)
+				return
+			}
+			met.ckptSaves.Inc()
+		},
 	}
 	s.buildFn = cfg.BuildFunc
 	if s.buildFn == nil {
@@ -222,6 +310,7 @@ func New(cfg Config) *Server {
 		s.workerWG.Add(1)
 		go s.buildWorker()
 	}
+	s.recoverBuilds()
 	return s
 }
 
@@ -437,7 +526,7 @@ func (s *Server) runBuild(ent *buildEntry) {
 
 	s.log.Info("build started", "id", ent.id, "key", ent.key,
 		"trace_id", span.TraceID())
-	model, err := s.buildFn(ctx, ent.spec, hooks)
+	model, err := s.buildWithRetries(ctx, ent, hooks)
 	man := rec.Finish(model, err)
 	man.Width = ent.spec.Width
 	dur := time.Since(start)
@@ -453,6 +542,65 @@ func (s *Server) runBuild(ent *buildEntry) {
 			"duration", dur, "patterns", man.PatternsBasic+man.PatternsBiased)
 	}
 	span.End()
-	s.cache.complete(ent, model, err, man)
+	// Durable side effects land before complete() unblocks waiters: a
+	// client that saw the build settle can rely on the library entry, the
+	// manifest file, and the sidecar being gone.
+	if err == nil && s.lib != nil {
+		if perr := s.lib.PutModel(ent.spec.Module, ent.spec.Width, model); perr != nil {
+			s.log.Warn("model not persisted to library", "id", ent.id, "err", perr)
+		}
+	}
 	s.persistManifest(ent.id, man)
+	s.clearBuildSpec(ent.id)
+	s.cache.complete(ent, model, err, man)
+}
+
+// buildWithRetries runs one build attempt plus up to BuildRetries retries
+// with capped exponential backoff and full jitter. Only transient errors
+// retry: a canceled or timed-out context and a checkpoint identity
+// mismatch are permanent. With a CheckpointDir configured, each retry
+// resumes from the previous attempt's checkpoint instead of starting over.
+func (s *Server) buildWithRetries(ctx context.Context, ent *buildEntry, hooks *core.Hooks) (*core.Model, error) {
+	var model *core.Model
+	var err error
+	for attempt := 0; ; attempt++ {
+		if ferr := faultpoint.Hit("serve.build"); ferr != nil {
+			err = ferr
+		} else {
+			model, err = s.buildFn(ctx, ent.spec, hooks)
+		}
+		if err == nil || attempt >= s.cfg.BuildRetries ||
+			!isTransientBuildErr(err) || ctx.Err() != nil {
+			return model, err
+		}
+		s.met.buildRetries.Inc()
+		delay := s.retryDelay(attempt)
+		s.log.Warn("build attempt failed; retrying", "id", ent.id,
+			"attempt", attempt+1, "backoff", delay, "err", err)
+		select {
+		case <-ctx.Done():
+			return nil, err
+		case <-s.quit:
+			return nil, err
+		case <-time.After(delay):
+		}
+	}
+}
+
+// isTransientBuildErr reports whether a failed attempt is worth retrying.
+func isTransientBuildErr(err error) bool {
+	return !errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded) &&
+		!core.IsCheckpointMismatch(err)
+}
+
+// retryDelay is capped exponential backoff with full jitter: uniform in
+// (0, base·2^attempt], never above 5s. Jitter keeps a fleet of restarted
+// builds from thundering onto the same instant.
+func (s *Server) retryDelay(attempt int) time.Duration {
+	limit := s.cfg.BuildRetryBackoff << uint(attempt)
+	if limit > 5*time.Second {
+		limit = 5 * time.Second
+	}
+	return time.Duration(rand.Int63n(int64(limit))) + time.Millisecond
 }

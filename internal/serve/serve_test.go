@@ -452,17 +452,24 @@ func TestLRUEviction(t *testing.T) {
 	if got := s.met.cacheEvicted.Value(); got != 1 {
 		t.Fatalf("evictions = %d, want 1", got)
 	}
-	// Seed 1 was the LRU victim: estimating against it is now a 404.
+	// Seed 1 was the LRU victim: estimating against it no longer gets the
+	// exact model — the cached siblings answer, marked degraded.
 	resp, data := postJSON(t, ts.URL+"/v1/estimate",
 		map[string]any{"model": map[string]any{"module": "ripple-adder", "width": 2, "seed": 1}, "hd": []int{1}})
-	if resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("evicted estimate: %d %s, want 404", resp.StatusCode, data)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evicted estimate: %d %s", resp.StatusCode, data)
 	}
-	// Seeds 2 and 3 still serve.
-	resp, _ = postJSON(t, ts.URL+"/v1/estimate",
+	if er := decode[estimateResponse](t, data); !er.Degraded {
+		t.Fatalf("evicted estimate served non-degraded: %+v", er)
+	}
+	// Seeds 2 and 3 still serve exactly.
+	resp, data = postJSON(t, ts.URL+"/v1/estimate",
 		map[string]any{"model": map[string]any{"module": "ripple-adder", "width": 2, "seed": 3}, "hd": []int{1}})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("cached estimate: %d", resp.StatusCode)
+	}
+	if er := decode[estimateResponse](t, data); er.Degraded {
+		t.Fatalf("cached estimate marked degraded: %+v", er)
 	}
 }
 
@@ -472,6 +479,7 @@ func TestFailedBuildRetries(t *testing.T) {
 	calls := 0
 	var mu sync.Mutex
 	s, ts := newTestServer(t, Config{
+		BuildRetries: -1, // client-visible failure semantics, not auto-retry
 		BuildFunc: func(ctx context.Context, spec BuildSpec, _ *core.Hooks) (*core.Model, error) {
 			mu.Lock()
 			defer mu.Unlock()
