@@ -29,6 +29,8 @@ type (
 	Coef = core.Coef
 	// CharacterizeOptions configures Characterize.
 	CharacterizeOptions = core.CharacterizeOptions
+	// BackendKind selects the simulation engine behind characterization.
+	BackendKind = core.BackendKind
 	// Meter measures per-cycle charge of a netlist.
 	Meter = power.Meter
 	// Trace is a sequence of measured cycles.
@@ -54,6 +56,15 @@ const (
 	TypeSpeech  = stimuli.TypeSpeech
 	TypeVideo   = stimuli.TypeVideo
 	TypeCounter = stimuli.TypeCounter
+)
+
+// Characterization backends. BackendAuto keeps the caller's meter (the
+// event-driven golden reference); BackendBitParallel prices 64 pattern
+// pairs per netlist pass.
+const (
+	BackendAuto        = core.BackendAuto
+	BackendEvent       = core.BackendEvent
+	BackendBitParallel = core.BackendBitParallel
 )
 
 // Modules lists the available datapath generator names.

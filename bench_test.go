@@ -325,6 +325,38 @@ func BenchmarkCharacterizeParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkCharacterizeBitParallel is BenchmarkCharacterizeParallel with
+// the 64-lane bit-parallel backend: same module, pattern budget and shard
+// plan, so the patterns/sec metrics are directly comparable between the
+// two benchmark families. The workers=1 row against the event backend's
+// workers=1 row is the single-core speedup the bit-parallel engine exists
+// for (>10x locally; CI gates >=5x via `benchcmp -min-speedup`, leaving
+// headroom for noisy shared runners).
+func BenchmarkCharacterizeBitParallel(b *testing.B) {
+	const patterns = 5120
+	nl, err := Build("csa-multiplier", 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	meter, err := NewMeter(nl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Characterize(meter, "bench", core.CharacterizeOptions{
+					Patterns: patterns, Seed: 1, Workers: workers,
+					Backend: core.BackendBitParallel,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(patterns)*float64(b.N)/b.Elapsed().Seconds(), "patterns/sec")
+		})
+	}
+}
+
 // BenchmarkSimulateCycle measures raw event-driven simulation throughput
 // on the largest paper module (16x16 Booth-Wallace).
 func BenchmarkSimulateCycle(b *testing.B) {

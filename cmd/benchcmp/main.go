@@ -21,12 +21,13 @@ import (
 	"strings"
 )
 
-// record mirrors cmd/benchjson's output schema. NumCPU is 0 in baselines
-// written before the field existed.
+// record mirrors cmd/benchjson's output schema. NumCPU is 0 and Backend
+// empty in baselines written before those fields existed.
 type record struct {
 	Name       string             `json:"name"`
 	Iterations int64              `json:"iterations"`
 	NumCPU     int                `json:"num_cpu"`
+	Backend    string             `json:"backend"`
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
@@ -39,6 +40,9 @@ func main() {
 		minScale    = flag.Float64("min-scale", 0, "minimum scale-target/scale-base ratio in the new run (0 disables)")
 		scaleBase   = flag.String("scale-base", "workers=1", "benchmark name substring of the scaling baseline")
 		scaleTarget = flag.String("scale-target", "workers=8", "benchmark name substring of the scaling target")
+		minSpeedup  = flag.Float64("min-speedup", 0, "minimum speedup-target/speedup-base ratio in the new run (0 disables); gates the bit-parallel backend's single-core advantage")
+		speedBase   = flag.String("speedup-base", "CharacterizeParallel/workers=1", "benchmark name substring of the speedup baseline (event backend)")
+		speedTarget = flag.String("speedup-target", "CharacterizeBitParallel/workers=1", "benchmark name substring of the speedup target (bit-parallel backend)")
 	)
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
@@ -46,7 +50,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	failures, err := run(os.Stdout, *oldPath, *newPath, *metric, *maxRegress, *minScale, *scaleBase, *scaleTarget)
+	failures, err := run(os.Stdout, *oldPath, *newPath, *metric, *maxRegress,
+		ratioGate{floor: *minScale, base: *scaleBase, target: *scaleTarget, label: "scaling"},
+		ratioGate{floor: *minSpeedup, base: *speedBase, target: *speedTarget, label: "speedup"})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
 		os.Exit(2)
@@ -98,7 +104,7 @@ func load(path string) (recs []record, notes []string, err error) {
 // run performs the comparison and returns human-readable failures.
 // I/O problems and malformed inputs come back as err (exit 2, not a
 // regression verdict).
-func run(out io.Writer, oldPath, newPath, metric string, maxRegress, minScale float64, scaleBase, scaleTarget string) ([]string, error) {
+func run(out io.Writer, oldPath, newPath, metric string, maxRegress float64, gates ...ratioGate) ([]string, error) {
 	oldRecs, notes, err := load(oldPath)
 	if err != nil {
 		return nil, err
@@ -117,8 +123,10 @@ func run(out io.Writer, oldPath, newPath, metric string, maxRegress, minScale fl
 		}
 	}
 	failures := compare(out, oldRecs, newRecs, metric, maxRegress)
-	if minScale > 0 {
-		failures = append(failures, checkScaling(out, newRecs, metric, minScale, scaleBase, scaleTarget)...)
+	for _, g := range gates {
+		if g.floor > 0 {
+			failures = append(failures, checkRatio(out, newRecs, metric, g)...)
+		}
 	}
 	return failures, nil
 }
@@ -164,6 +172,15 @@ func compare(out io.Writer, oldRecs, newRecs []record, metric string, maxRegress
 			failures = append(failures, fmt.Sprintf("%s: new run lacks metric %q", o.Name, metric))
 			continue
 		}
+		// Only same-backend records compare: an event baseline against a
+		// bit-parallel candidate (or vice versa) would read the ~10x engine
+		// gap as a huge improvement or regression. Records without a stamped
+		// backend (older baselines) compare as before.
+		if o.Backend != "" && n.Backend != "" && o.Backend != n.Backend {
+			fmt.Fprintf(out, "note: %s: backend changed (%s -> %s); not compared\n",
+				o.Name, o.Backend, n.Backend)
+			continue
+		}
 		delta := 0.0
 		if ov > 0 {
 			delta = nv/ov - 1
@@ -178,8 +195,18 @@ func compare(out io.Writer, oldRecs, newRecs []record, metric string, maxRegress
 	return failures
 }
 
-// checkScaling enforces the parallel-speedup floor within the new run.
-func checkScaling(out io.Writer, recs []record, metric string, minScale float64, base, target string) []string {
+// ratioGate is a floor on the metric ratio of two benchmarks within the
+// new run: worker scaling (workers=8 over workers=1) and the bit-parallel
+// backend's speedup (BitParallel workers=1 over event workers=1) are both
+// instances of it.
+type ratioGate struct {
+	floor        float64
+	base, target string
+	label        string
+}
+
+// checkRatio enforces one ratio floor within the new run.
+func checkRatio(out io.Writer, recs []record, metric string, g ratioGate) []string {
 	find := func(sub string) (record, bool) {
 		for _, r := range recs {
 			if strings.Contains(r.Name, sub) {
@@ -188,20 +215,20 @@ func checkScaling(out io.Writer, recs []record, metric string, minScale float64,
 		}
 		return record{}, false
 	}
-	b, okB := find(base)
-	tr, okT := find(target)
+	b, okB := find(g.base)
+	tr, okT := find(g.target)
 	if !okB || !okT {
-		return []string{fmt.Sprintf("scaling check: missing %q or %q in new run", base, target)}
+		return []string{fmt.Sprintf("%s check: missing %q or %q in new run", g.label, g.base, g.target)}
 	}
 	bv, tv := b.Metrics[metric], tr.Metrics[metric]
 	if bv <= 0 {
-		return []string{fmt.Sprintf("scaling check: baseline %s has %s = %v", b.Name, metric, bv)}
+		return []string{fmt.Sprintf("%s check: baseline %s has %s = %v", g.label, b.Name, metric, bv)}
 	}
 	ratio := tv / bv
-	fmt.Fprintf(out, "scaling %s: %s/%s = %.2fx (floor %.2fx)\n", metric, target, base, ratio, minScale)
-	if ratio < minScale {
-		return []string{fmt.Sprintf("scaling: %s is %.2fx of %s in %s, floor %.2fx",
-			target, ratio, base, metric, minScale)}
+	fmt.Fprintf(out, "%s %s: %s/%s = %.2fx (floor %.2fx)\n", g.label, metric, g.target, g.base, ratio, g.floor)
+	if ratio < g.floor {
+		return []string{fmt.Sprintf("%s: %s is %.2fx of %s in %s, floor %.2fx",
+			g.label, g.target, ratio, g.base, metric, g.floor)}
 	}
 	return nil
 }

@@ -48,16 +48,19 @@ func TestCompareMissingMetricInNewRun(t *testing.T) {
 }
 
 func TestScaling(t *testing.T) {
+	gate := func(target string) ratioGate {
+		return ratioGate{floor: 1.5, base: "workers=1", target: target, label: "scaling"}
+	}
 	recs := []record{rec("B/workers=1", 1000), rec("B/workers=8", 1400)}
-	fails := checkScaling(io.Discard, recs, "patterns/sec", 1.5, "workers=1", "workers=8")
+	fails := checkRatio(io.Discard, recs, "patterns/sec", gate("workers=8"))
 	if len(fails) != 1 {
 		t.Fatalf("1.4x under a 1.5x floor must fail: %v", fails)
 	}
 	recs[1].Metrics["patterns/sec"] = 1600
-	if fails := checkScaling(io.Discard, recs, "patterns/sec", 1.5, "workers=1", "workers=8"); len(fails) != 0 {
+	if fails := checkRatio(io.Discard, recs, "patterns/sec", gate("workers=8")); len(fails) != 0 {
 		t.Fatalf("1.6x over a 1.5x floor must pass: %v", fails)
 	}
-	if fails := checkScaling(io.Discard, recs, "patterns/sec", 1.5, "workers=1", "workers=64"); len(fails) != 1 {
+	if fails := checkRatio(io.Discard, recs, "patterns/sec", gate("workers=64")); len(fails) != 1 {
 		t.Fatalf("missing target must fail: %v", fails)
 	}
 }
@@ -68,7 +71,7 @@ func TestRunEndToEnd(t *testing.T) {
 	newPath := filepath.Join(dir, "new.json")
 	os.WriteFile(oldPath, []byte(`[{"name":"B/workers=1","iterations":2,"metrics":{"patterns/sec":1000}}]`), 0o644)
 	os.WriteFile(newPath, []byte(`[{"name":"B/workers=1","iterations":2,"metrics":{"patterns/sec":1100}}]`), 0o644)
-	fails, err := run(io.Discard, oldPath, newPath, "patterns/sec", 0.25, 0, "", "")
+	fails, err := run(io.Discard, oldPath, newPath, "patterns/sec", 0.25)
 	if err != nil || len(fails) != 0 {
 		t.Fatalf("run: %v %v", fails, err)
 	}
@@ -76,10 +79,10 @@ func TestRunEndToEnd(t *testing.T) {
 	// Empty and malformed inputs are tool errors, not verdicts.
 	empty := filepath.Join(dir, "empty.json")
 	os.WriteFile(empty, []byte(`[]`), 0o644)
-	if _, err := run(io.Discard, oldPath, empty, "patterns/sec", 0.25, 0, "", ""); err == nil {
+	if _, err := run(io.Discard, oldPath, empty, "patterns/sec", 0.25); err == nil {
 		t.Fatal("empty new file must error")
 	}
-	if _, err := run(io.Discard, filepath.Join(dir, "nope.json"), newPath, "patterns/sec", 0.25, 0, "", ""); err == nil {
+	if _, err := run(io.Discard, filepath.Join(dir, "nope.json"), newPath, "patterns/sec", 0.25); err == nil {
 		t.Fatal("missing old file must error")
 	}
 }
@@ -108,7 +111,7 @@ func TestOlderSchemaBaseline(t *testing.T) {
 	}
 
 	var out strings.Builder
-	fails, err := run(&out, oldPath, newPath, "patterns/sec", 0.25, 0, "", "")
+	fails, err := run(&out, oldPath, newPath, "patterns/sec", 0.25)
 	if err != nil {
 		t.Fatalf("older-schema baseline must not error: %v", err)
 	}
@@ -124,8 +127,53 @@ func TestOlderSchemaBaseline(t *testing.T) {
 	if err := os.WriteFile(allBad, []byte(`[{"iterations":2}]`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := run(io.Discard, allBad, newPath, "patterns/sec", 0.25, 0, "", ""); err == nil ||
+	if _, err := run(io.Discard, allBad, newPath, "patterns/sec", 0.25); err == nil ||
 		!strings.Contains(err.Error(), "no usable benchmark records") {
 		t.Fatalf("all-bad baseline: %v", err)
+	}
+}
+
+// TestCompareSkipsCrossBackend: a baseline row and a fresh row with the
+// same name but different stamped backends must not be compared — the
+// engine gap is not a regression — and must not fail the gate either.
+func TestCompareSkipsCrossBackend(t *testing.T) {
+	o := rec("B/workers=1", 70000)
+	o.Backend = "bitparallel"
+	n := rec("B/workers=1", 6500)
+	n.Backend = "event"
+	var out strings.Builder
+	fails := compare(&out, []record{o}, []record{n}, "patterns/sec", 0.25)
+	if len(fails) != 0 {
+		t.Fatalf("cross-backend rows must be skipped, got failures: %v", fails)
+	}
+	if !strings.Contains(out.String(), "backend changed") {
+		t.Errorf("skip note missing, output:\n%s", out.String())
+	}
+	// Unstamped (older) baselines still compare.
+	o.Backend = ""
+	fails = compare(io.Discard, []record{o}, []record{n}, "patterns/sec", 0.25)
+	if len(fails) != 1 {
+		t.Fatalf("unstamped baseline must still gate: %v", fails)
+	}
+}
+
+// TestSpeedupGate drives the bit-parallel-vs-event ratio floor the CI
+// bench gate arms with -min-speedup.
+func TestSpeedupGate(t *testing.T) {
+	gate := ratioGate{
+		floor: 5, base: "CharacterizeParallel/workers=1",
+		target: "CharacterizeBitParallel/workers=1", label: "speedup",
+	}
+	recs := []record{
+		rec("BenchmarkCharacterizeParallel/workers=1", 6500),
+		rec("BenchmarkCharacterizeBitParallel/workers=1", 70000),
+	}
+	if fails := checkRatio(io.Discard, recs, "patterns/sec", gate); len(fails) != 0 {
+		t.Fatalf("10.8x over a 5x floor must pass: %v", fails)
+	}
+	recs[1].Metrics["patterns/sec"] = 20000
+	fails := checkRatio(io.Discard, recs, "patterns/sec", gate)
+	if len(fails) != 1 || !strings.Contains(fails[0], "speedup") {
+		t.Fatalf("3.1x under a 5x floor must fail: %v", fails)
 	}
 }

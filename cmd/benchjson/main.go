@@ -28,8 +28,27 @@ type record struct {
 	// so a baseline records the hardware it was measured on — comparing
 	// scaling ratios across hosts with different core counts is
 	// meaningless, and this makes the mismatch visible.
-	NumCPU  int                `json:"num_cpu"`
+	NumCPU int `json:"num_cpu"`
+	// Backend names the simulation engine the benchmark exercised,
+	// inferred from the benchmark name ("bitparallel" for the BitParallel
+	// benchmark family, "event" for the scalar characterization and
+	// simulation families, empty otherwise). benchcmp refuses to compare
+	// records whose backends differ: a bitparallel baseline against an
+	// event candidate would mistake an 11x engine gap for a regression.
+	Backend string             `json:"backend,omitempty"`
 	Metrics map[string]float64 `json:"metrics"`
+}
+
+// inferBackend maps a benchmark name to the simulation backend it drives.
+func inferBackend(name string) string {
+	switch {
+	case strings.Contains(name, "BitParallel"):
+		return "bitparallel"
+	case strings.Contains(name, "Characterize"), strings.Contains(name, "Simulate"):
+		return "event"
+	default:
+		return ""
+	}
 }
 
 func main() {
@@ -54,6 +73,7 @@ func convert(in io.Reader, out io.Writer) error {
 		}
 		if ok {
 			rec.NumCPU = runtime.NumCPU()
+			rec.Backend = inferBackend(rec.Name)
 			recs = append(recs, rec)
 		}
 	}

@@ -83,3 +83,26 @@ func TestParseLineSkipsNonResults(t *testing.T) {
 		}
 	}
 }
+
+// TestBackendStamping: records carry the simulation backend inferred from
+// the benchmark name, so benchcmp can refuse cross-backend comparisons.
+func TestBackendStamping(t *testing.T) {
+	for name, want := range map[string]string{
+		"BenchmarkCharacterizeBitParallel/workers=1-8": "bitparallel",
+		"BenchmarkCharacterizeParallel/workers=1-8":    "event",
+		"BenchmarkSimulateCycle-8":                     "event",
+		"BenchmarkFigure1-8":                           "",
+	} {
+		if got := inferBackend(name); got != want {
+			t.Errorf("inferBackend(%q) = %q, want %q", name, got, want)
+		}
+	}
+	in := "BenchmarkCharacterizeBitParallel/workers=1 2 1000 ns/op 70000 patterns/sec\n"
+	var out bytes.Buffer
+	if err := convert(strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"backend": "bitparallel"`) {
+		t.Errorf("backend not stamped:\n%s", out.String())
+	}
+}

@@ -162,7 +162,12 @@ func cmdCharacterize(args []string) error {
 	ckptDir := fs.String("checkpoint", "", "checkpoint the run's merged state into this directory (crash-safe)")
 	resume := fs.Bool("resume", false, "resume from the checkpoint left by an interrupted identical run")
 	ckptEvery := fs.Int("checkpoint-every", 0, "checkpoint interval in merged shards (0 = default 16)")
+	backendName := fs.String("backend", "bitparallel", "simulation backend: bitparallel (64 pattern pairs per pass) or event (golden event-driven reference)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	backend, err := core.ParseBackendKind(*backendName)
+	if err != nil {
 		return err
 	}
 	if !obs.ValidLogFormat(*logFormat) {
@@ -178,7 +183,7 @@ func cmdCharacterize(args []string) error {
 	name := fmt.Sprintf("%s-%d", *module, *width)
 	opt := hdpower.CharacterizeOptions{
 		Patterns: *patterns, Enhanced: *enhanced, ZClusters: *zclusters, Seed: *seed,
-		Workers: *workers,
+		Workers: *workers, Backend: backend,
 	}
 	if *ckptDir != "" {
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
@@ -476,7 +481,12 @@ func cmdFit(args []string) error {
 	out := fs.String("o", "", "output file (default stdout)")
 	libDir := fs.String("library", "", "also store the regression in this library directory")
 	traceDir := fs.String("trace", "", "write one flight-recorder manifest per prototype into this directory")
+	backendName := fs.String("backend", "bitparallel", "simulation backend: bitparallel (64 pattern pairs per pass) or event (golden event-driven reference)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	backend, err := core.ParseBackendKind(*backendName)
+	if err != nil {
 		return err
 	}
 	mod, err := dwlib.Lookup(*module)
@@ -498,7 +508,7 @@ func cmdFit(args []string) error {
 		if err != nil {
 			return err
 		}
-		opt := hdpower.CharacterizeOptions{Patterns: *patterns, Seed: *seed + int64(w), Workers: *workers}
+		opt := hdpower.CharacterizeOptions{Patterns: *patterns, Seed: *seed + int64(w), Workers: *workers, Backend: backend}
 		var rec *core.RunRecorder
 		if *traceDir != "" {
 			rec = core.NewRunRecorder(fmt.Sprintf("%s-%d", *module, w), opt)

@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"hdpower/internal/core"
 	"hdpower/internal/obs"
 	"hdpower/internal/serve"
 )
@@ -57,8 +58,14 @@ func main() {
 		checkpointEach = flag.Int("checkpoint-every", 0, "checkpoint interval in merged shards (0 = default 16)")
 		buildRetries   = flag.Int("build-retries", 0, "retries per transiently failed build (0 = default 2, negative = none)")
 		libraryDir     = flag.String("library", "", "durable model library for persisted builds and degraded estimates (off when empty)")
+		backendName    = flag.String("backend", "bitparallel", "characterization backend: bitparallel (64 pairs per pass) or event (golden event-driven reference)")
 	)
 	flag.Parse()
+	backend, err := core.ParseBackendKind(*backendName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hdserve: %v\n", err)
+		os.Exit(2)
+	}
 	if !obs.ValidLogFormat(*logFormat) {
 		fmt.Fprintf(os.Stderr, "hdserve: unknown -log-format %q (want text or json)\n", *logFormat)
 		os.Exit(2)
@@ -78,6 +85,7 @@ func main() {
 		BuildQueue:      *buildQueue,
 		ModelCache:      *modelCache,
 		CharWorkers:     *charWorkers,
+		Backend:         backend,
 		Logger:          logger,
 		TraceCapacity:   *traceCapacity,
 		ManifestDir:     *manifestDir,

@@ -41,6 +41,16 @@ type CharacterizeOptions struct {
 	// accumulators are merged in shard order, so the fitted model is
 	// bit-identical for every worker count.
 	Workers int
+	// Backend selects the simulation engine that prices the pattern
+	// pairs. The zero value (BackendAuto) and BackendEvent use the
+	// caller's meter — the scalar event-driven reference, bit-identical
+	// to prior releases; BackendBitParallel builds a 64-lane bit-parallel
+	// engine over the same netlist (see internal/bitsim), roughly an
+	// order of magnitude faster with unit-delay glitch approximation.
+	// The backend changes the reference charges (and so the fitted
+	// coefficients), never the determinism or resume guarantees; a
+	// checkpoint records its backend and refuses to resume under another.
+	Backend BackendKind
 	// Hooks receives progress callbacks during the run; nil disables
 	// them. Callbacks never affect the fitted model.
 	Hooks *Hooks
@@ -443,9 +453,13 @@ const (
 )
 
 // runCharShard simulates one shard of the characterization stream on the
-// worker's own meter and returns its partial accumulators. The model is
-// only read (immutable bucket geometry), so shards may run concurrently.
-func runCharShard(meter *power.Meter, model *Model, sh shard, seed int64, biased, enhanced bool) *charPartial {
+// worker's own backend and returns its partial accumulators. The shard's
+// pairs are generated up front and priced as one batch — the event
+// backend walks them in the same order the pre-Backend code did (so its
+// models stay bit-identical), while the bit-parallel backend prices 64 at
+// a time. The model is only read (immutable bucket geometry), so shards
+// may run concurrently.
+func runCharShard(b Backend, model *Model, sh shard, seed int64, biased, enhanced bool) *charPartial {
 	faultpoint.Delay("core.shard") // chaos: stragglers must not change the model
 	m := model.InputBits
 	part := &charPartial{patterns: sh.patterns}
@@ -462,17 +476,21 @@ func runCharShard(meter *power.Meter, model *Model, sh shard, seed int64, biased
 			part.enhanced[i-1] = make([]classAcc, model.NumZBuckets(i))
 		}
 	}
-	for j := 0; j < sh.patterns; j++ {
-		u, v := ps.Next()
-		meter.Reset(u)
-		q := meter.Cycle(v)
-		i := logic.Hd(u, v)
+	us := make([]logic.Word, sh.patterns)
+	vs := make([]logic.Word, sh.patterns)
+	q := make([]float64, sh.patterns)
+	for j := range us {
+		us[j], vs[j] = ps.Next()
+	}
+	b.Charges(us, vs, q)
+	for j := range us {
+		i := logic.Hd(us[j], vs[j])
 		if part.basic != nil {
-			part.basic[i-1].add(q)
+			part.basic[i-1].add(q[j])
 		}
 		if part.enhanced != nil {
-			z := logic.StableZeros(u, v)
-			part.enhanced[i-1][model.ZBucket(i, z)].add(q)
+			z := logic.StableZeros(us[j], vs[j])
+			part.enhanced[i-1][model.ZBucket(i, z)].add(q[j])
 		}
 	}
 	return part
@@ -520,7 +538,11 @@ func Characterize(meter *power.Meter, moduleName string, opt CharacterizeOptions
 	if workers > len(plan) {
 		workers = len(plan)
 	}
-	meters := meterPool(meter, workers)
+	backend, err := opt.resolveBackend(meter)
+	if err != nil {
+		return nil, err
+	}
+	backends := backendPool(backend, workers)
 
 	conv := newConvTracker(m, opt.ConvergeTol, opt.CheckEvery)
 	checkpoints := opt.ConvergeTol > 0 || opt.Hooks.wantsConvergence()
@@ -570,7 +592,7 @@ func Characterize(meter *power.Meter, moduleName string, opt CharacterizeOptions
 	if !basicDone {
 		merged := runShardsOrdered(len(plan)-basicStart, workers,
 			func(w, idx int) *charPartial {
-				return runCharShard(meters[w], model, plan[basicStart+idx], opt.Seed, false, opt.Enhanced)
+				return runCharShard(backends[w], model, plan[basicStart+idx], opt.Seed, false, opt.Enhanced)
 			},
 			func(idx int, part *charPartial) bool {
 				abs := basicStart + idx + 1 // shards merged so far, this one included
@@ -643,7 +665,7 @@ func Characterize(meter *power.Meter, moduleName string, opt CharacterizeOptions
 		opt.Hooks.phaseStart(PhaseBiased, usedShards, patternsUsed)
 		runShardsOrdered(usedShards-biasedStart, workers,
 			func(w, idx int) *charPartial {
-				return runCharShard(meters[w], model, plan[biasedStart+idx], opt.Seed, true, true)
+				return runCharShard(backends[w], model, plan[biasedStart+idx], opt.Seed, true, true)
 			},
 			func(idx int, part *charPartial) bool {
 				abs := biasedStart + idx + 1

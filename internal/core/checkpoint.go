@@ -87,6 +87,11 @@ type Checkpoint struct {
 	ZClusters   int     `json:"z_clusters"`
 	CheckEvery  int     `json:"check_every"`
 	ConvergeTol float64 `json:"converge_tol"`
+	// Backend is the resolved simulation backend name ("event",
+	// "bitparallel"). Charges accumulated under one backend must never be
+	// merged with charges from another, so a resume under a different
+	// backend is an identity mismatch.
+	Backend string `json:"backend"`
 	// TopoHash additionally pins the structural constants the stream
 	// depends on (shard size, reservoir bound, seed mixing), so a build
 	// of this package with different internals refuses the checkpoint
@@ -137,9 +142,10 @@ func IsCheckpointMismatch(err error) bool {
 
 // charTopoHash pins the structural constants of the deterministic stream.
 func charTopoHash(module string, inputBits int, opt *CharacterizeOptions) string {
-	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%d|%d|%d|%v|%d|%d|%g|shard=%d|res=%d",
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%d|%d|%d|%v|%d|%d|%g|backend=%s|shard=%d|res=%d",
 		checkpointFormat, module, inputBits, opt.Seed, opt.Patterns, opt.Enhanced,
-		opt.ZClusters, opt.CheckEvery, opt.ConvergeTol, shardPatterns, epsilonReservoir)))
+		opt.ZClusters, opt.CheckEvery, opt.ConvergeTol, opt.Backend.Name(),
+		shardPatterns, epsilonReservoir)))
 	return hex.EncodeToString(h[:12])
 }
 
@@ -175,6 +181,9 @@ func (c *Checkpoint) matches(path, module string, inputBits int, opt *Characteri
 	}
 	if c.ConvergeTol != opt.ConvergeTol {
 		add("converge_tol", c.ConvergeTol, opt.ConvergeTol)
+	}
+	if c.Backend != opt.Backend.Name() {
+		add("backend", c.Backend, opt.Backend.Name())
 	}
 	if want := charTopoHash(module, inputBits, opt); len(diffs) == 0 && c.TopoHash != want {
 		add("topology hash", c.TopoHash, want)
@@ -271,6 +280,7 @@ func newCheckpointer(opt *CharacterizeOptions, module string, inputBits int) *ch
 			ZClusters:   opt.ZClusters,
 			CheckEvery:  opt.CheckEvery,
 			ConvergeTol: opt.ConvergeTol,
+			Backend:     opt.Backend.Name(),
 			TopoHash:    charTopoHash(module, inputBits, opt),
 		},
 	}

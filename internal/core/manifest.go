@@ -41,6 +41,12 @@ type RunManifest struct {
 	// Workers is the resolved worker count (informational only: the
 	// fitted model is identical for every value).
 	Workers int `json:"workers"`
+	// Backend is the resolved simulation backend ("event",
+	// "bitparallel") that priced the pattern pairs. Unlike Workers it is
+	// not informational-only: coefficients from different backends differ
+	// by the glitch-approximation drift, so the manifest records which
+	// engine produced them.
+	Backend string `json:"backend,omitempty"`
 	// Enhanced and ZClusters mirror the options that shape the fit.
 	Enhanced  bool `json:"enhanced,omitempty"`
 	ZClusters int  `json:"z_clusters,omitempty"`
@@ -115,6 +121,7 @@ func NewRunRecorder(module string, opt CharacterizeOptions) *RunRecorder {
 			Module:         module,
 			Seed:           eff.Seed,
 			Workers:        eff.workerCount(),
+			Backend:        eff.Backend.Name(),
 			Enhanced:       eff.Enhanced,
 			ZClusters:      eff.ZClusters,
 			PatternsBudget: eff.Patterns,

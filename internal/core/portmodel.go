@@ -132,14 +132,19 @@ func LoadPortModel(data []byte) (*PortModel, error) {
 }
 
 // runPortShard simulates one shard of the port-characterization stream on
-// the worker's own meter and returns its partial (Hd_A, Hd_B) grid.
-func runPortShard(meter *power.Meter, widthA, widthB int, sh shard, seed int64) [][]classAcc {
+// the worker's own backend and returns its partial (Hd_A, Hd_B) grid.
+func runPortShard(b Backend, widthA, widthB int, sh shard, seed int64) [][]classAcc {
 	acc := make([][]classAcc, widthA+1)
 	for ia := range acc {
 		acc[ia] = make([]classAcc, widthB+1)
 	}
 	psA := newPairSource(widthA, shardSeed(seed, streamPortA, sh.index), false)
 	psB := newPairSource(widthB, shardSeed(seed, streamPortB, sh.index), false)
+	us := make([]logic.Word, sh.patterns)
+	vs := make([]logic.Word, sh.patterns)
+	q := make([]float64, sh.patterns)
+	ias := make([]int, sh.patterns)
+	ibs := make([]int, sh.patterns)
 	for k := 0; k < sh.patterns; k++ {
 		uA, vA := psA.Next()
 		uB, vB := psB.Next()
@@ -153,16 +158,17 @@ func runPortShard(meter *power.Meter, widthA, widthB int, sh shard, seed int64) 
 		case 3:
 			vA = uA
 		}
-		u := uA.Concat(uB)
-		v := vA.Concat(vB)
-		meter.Reset(u)
-		q := meter.Cycle(v)
-		ia := logic.Hd(uA, vA)
-		ib := logic.Hd(uB, vB)
-		if ia == 0 && ib == 0 {
+		us[k] = uA.Concat(uB)
+		vs[k] = vA.Concat(vB)
+		ias[k] = logic.Hd(uA, vA)
+		ibs[k] = logic.Hd(uB, vB)
+	}
+	b.Charges(us, vs, q)
+	for k := 0; k < sh.patterns; k++ {
+		if ias[k] == 0 && ibs[k] == 0 {
 			continue
 		}
-		acc[ia][ib].add(q)
+		acc[ias[k]][ibs[k]].add(q[k])
 	}
 	return acc
 }
@@ -192,10 +198,14 @@ func CharacterizePorts(meter *power.Meter, moduleName string, widthA, widthB int
 	if workers > len(plan) {
 		workers = len(plan)
 	}
-	meters := meterPool(meter, workers)
+	backend, err := opt.resolveBackend(meter)
+	if err != nil {
+		return nil, err
+	}
+	backends := backendPool(backend, workers)
 	runShardsOrdered(len(plan), workers,
 		func(w, idx int) [][]classAcc {
-			return runPortShard(meters[w], widthA, widthB, plan[idx], opt.Seed)
+			return runPortShard(backends[w], widthA, widthB, plan[idx], opt.Seed)
 		},
 		func(idx int, part [][]classAcc) bool {
 			for ia := range acc {

@@ -2,8 +2,6 @@ package core
 
 import (
 	"sync"
-
-	"hdpower/internal/power"
 )
 
 // Characterization parallelism works by sharding the pattern stream, not
@@ -64,17 +62,6 @@ func mix64(x uint64) uint64 {
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
 	return x
-}
-
-// meterPool returns per-worker meters: slot 0 is the caller's meter, the
-// rest are clones sharing its immutable topology.
-func meterPool(meter *power.Meter, workers int) []*power.Meter {
-	pool := make([]*power.Meter, workers)
-	pool[0] = meter
-	for w := 1; w < workers; w++ {
-		pool[w] = meter.Clone()
-	}
-	return pool
 }
 
 // runShardsOrdered executes run(worker, idx) for every shard index in

@@ -308,6 +308,7 @@ func (s *Server) characterize(ctx context.Context, spec BuildSpec, hooks *core.H
 		Enhanced:  spec.Enhanced,
 		ZClusters: spec.ZClusters,
 		Workers:   s.cfg.CharWorkers,
+		Backend:   s.cfg.Backend,
 		Hooks:     hooks,
 		Interrupt: func() error { return ctx.Err() },
 	}

@@ -64,6 +64,14 @@ type Config struct {
 	ModelCache int
 	// CharWorkers is passed to core.Characterize (0 = NumCPU).
 	CharWorkers int
+	// Backend selects the simulation engine behind characterization
+	// (core.BackendBitParallel, core.BackendEvent). The zero value
+	// BackendAuto resolves to the event-driven golden reference, which
+	// keeps embedded servers bit-identical to earlier releases; cmd/hdserve
+	// defaults the flag to bitparallel. Changing the backend changes the
+	// build's checkpoint identity, so restarted servers discard checkpoints
+	// from the other engine and rebuild instead of mixing charges.
+	Backend core.BackendKind
 	// BuildFunc overrides the characterization backend; tests inject
 	// slow or failing builds here. nil selects the real engine.
 	BuildFunc func(ctx context.Context, spec BuildSpec, hooks *core.Hooks) (*core.Model, error)
@@ -187,6 +195,15 @@ func newMetrics() *metrics {
 		ckptSaves:       reg.Counter("hdserve_checkpoint_saves_total", "characterization checkpoints written"),
 		ckptFailures:    reg.Counter("hdserve_checkpoint_failures_total", "characterization checkpoint writes that failed"),
 	}
+}
+
+// buildsByBackend counts model builds by the simulation backend that
+// priced them, so operators can tell bitparallel and event (golden
+// reference) build volume apart when comparing latency or drift.
+func (m *metrics) buildsByBackend(backend string) *obs.Counter {
+	return m.reg.CounterL("hdserve_model_builds_by_backend_total",
+		"model builds executed, labeled by simulation backend",
+		[]obs.Label{{Key: "backend", Value: backend}})
 }
 
 // estimateDegraded counts estimate answers served from a fallback model,
@@ -505,6 +522,7 @@ func (s *Server) buildWorker() {
 // onto the server's metric hooks.
 func (s *Server) runBuild(ent *buildEntry) {
 	s.met.buildsRun.Inc()
+	s.met.buildsByBackend(s.cfg.Backend.Name()).Inc()
 	start := time.Now()
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.BuildTimeout)
 	defer cancel()
@@ -512,6 +530,7 @@ func (s *Server) runBuild(ent *buildEntry) {
 	span.SetAttr("key", ent.key)
 	span.SetAttr("module", ent.spec.Module)
 	span.SetAttr("width", strconv.Itoa(ent.spec.Width))
+	span.SetAttr("backend", s.cfg.Backend.Name())
 
 	rec := core.NewRunRecorder(
 		fmt.Sprintf("%s-w%d", ent.spec.Module, ent.spec.Width),
@@ -521,6 +540,7 @@ func (s *Server) runBuild(ent *buildEntry) {
 			Enhanced:  ent.spec.Enhanced,
 			ZClusters: ent.spec.ZClusters,
 			Workers:   s.cfg.CharWorkers,
+			Backend:   s.cfg.Backend,
 		})
 	hooks := core.JoinHooks(s.hooks, rec.Hooks(), s.spanHooks(ctx), ent.progressHooks())
 
