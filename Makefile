@@ -1,26 +1,43 @@
 GO ?= go
 
+# The staticcheck release CI pins; `make lint` reports it when the tool
+# is not installed locally.
+STATICCHECK_VERSION ?= 2024.1.1
+
 # Enforced coverage floors (percent of statements) for the packages the
 # paper's correctness hangs on; `make cover` fails below them.
 COVER_FLOOR_CORE   ?= 90
 COVER_FLOOR_SIM    ?= 90
 COVER_FLOOR_BITSIM ?= 90
 
-.PHONY: test race chaos cover bench bench-char bench-fresh bench-gate repro
+.PHONY: test lint race chaos cover bench bench-char bench-fresh bench-gate repro
 
 # Tier-1 gate: everything builds, everything passes.
 test:
 	$(GO) build ./...
 	$(GO) test ./...
 
-# Race-detector pass over the concurrent packages (characterization
-# engine, simulator clones, experiment suite, serving layer, durability +
-# fault-injection layers, metrics + tracing, and the public API surface).
+# Static gate, matching CI's lint job: formatting, vet, the repo's own
+# hdlint analyzers (determinism, atomic writes, fault points, hook
+# balance), and — when installed — the pinned staticcheck.
+lint:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/hdlint
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed, skipping (CI pins $(STATICCHECK_VERSION):"; \
+		echo "  go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+
+# Race-detector pass over every package (the concurrent surfaces —
+# characterization engine, simulator clones, experiment suite, serving
+# layer, durability + fault-injection layers, metrics + tracing — plus
+# everything they pull in; sequential packages cost seconds).
 race:
-	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/bitsim/... \
-		./internal/power/... \
-		./internal/experiments/... ./internal/serve/... ./internal/obs/... \
-		./internal/atomicio/... ./internal/faultpoint/... ./internal/modellib/... .
+	$(GO) test -race ./...
 
 # Chaos pass: the crash-safety test suite re-run with slow-mode fault
 # points armed (stretching the crash windows that checkpointing, atomic

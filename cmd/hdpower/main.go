@@ -16,6 +16,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -30,6 +31,7 @@ import (
 	"hdpower/internal/dwlib"
 	"hdpower/internal/hddist"
 	"hdpower/internal/modellib"
+	"hdpower/internal/netlist"
 	"hdpower/internal/obs"
 	"hdpower/internal/regress"
 	"hdpower/internal/sim"
@@ -49,6 +51,8 @@ func main() {
 		err = cmdModules()
 	case "stats":
 		err = cmdStats(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
 	case "dot":
 		err = cmdDot(os.Args[2:])
 	case "characterize":
@@ -89,6 +93,8 @@ func usage() {
 subcommands:
   modules       list the datapath module catalog
   stats         print netlist statistics for a module instance
+  verify        statically lint a module's netlist (loops, floating or
+                multiply-driven nets, width mismatches, unreachable gates)
   dot           emit the netlist as Graphviz DOT
   characterize  fit an Hd model and write it as JSON
   estimate      estimate stream power with a stored model
@@ -131,6 +137,63 @@ func cmdStats(args []string) error {
 		return err
 	}
 	fmt.Println(nl.Stats())
+	return nil
+}
+
+// cmdVerify runs the static netlist linter (internal/netlist Verify)
+// over one module instance or the whole catalog. -inject deliberately
+// breaks the netlist first — the same surgery the chaos tests use — so
+// the linter's rejection path can be demonstrated from the command line.
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	module, width := moduleFlags(fs)
+	all := fs.Bool("all", false, "verify every catalog module at -width")
+	inject := fs.String("inject", "", "break the netlist first: loop | multidrive")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := []string{*module}
+	if *all {
+		names = dwlib.Names()
+	} else if *module == "" {
+		return fmt.Errorf("verify: -module or -all required")
+	}
+	failed := 0
+	for _, name := range names {
+		mod, err := dwlib.Lookup(name)
+		if err != nil {
+			return err
+		}
+		// Build without finalizing: Verify's subject matter includes
+		// netlists Finalize would reject.
+		nl := mod.Build(*width)
+		switch *inject {
+		case "":
+		case "loop":
+			nl.RewireGateInput(0, 0, nl.GateOutput(0))
+		case "multidrive":
+			nl.RedriveGateOutput(1, nl.GateOutput(0))
+		default:
+			return fmt.Errorf("verify: unknown -inject %q (want loop or multidrive)", *inject)
+		}
+		diags := nl.Verify()
+		errs := 0
+		for _, d := range diags {
+			if d.Severity == netlist.SevError {
+				errs++
+			}
+			fmt.Printf("%s-%d: %s\n", name, *width, d)
+		}
+		if errs > 0 {
+			failed++
+		} else if *all || len(diags) == 0 {
+			fmt.Printf("%s-%d: ok (%d gates, %d warning(s))\n",
+				name, *width, nl.NumGates(), len(diags))
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("verify: %d module(s) failed", failed)
+	}
 	return nil
 }
 
@@ -238,16 +301,37 @@ func cmdCharacterize(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "stored in library %s\n", *libDir)
 	}
-	data, err := json.MarshalIndent(model, "", "  ")
+	return writeJSONOutput(*out, model)
+}
+
+// writeJSONOutput marshals v as indented JSON to stdout (empty path) or
+// durably to a file. File writes go through atomicio, so an interrupted
+// run leaves the previous model intact and the new file carries a
+// checksum trailer; atomicio.ReadFile-based loaders verify it and plain
+// JSON parsers still work because the trailer is a trailing comment-style
+// line they never reach (loads here always strip it first).
+func writeJSONOutput(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
 	data = append(data, '\n')
-	if *out == "" {
+	if path == "" {
 		_, err = os.Stdout.Write(data)
 		return err
 	}
-	return os.WriteFile(*out, data, 0o644)
+	return atomicio.WriteFile(path, data, 0o644)
+}
+
+// readJSONInput loads a JSON artifact written by writeJSONOutput (or by
+// hand): checksummed files are verified, legacy trailer-less files load
+// as-is.
+func readJSONInput(path string) ([]byte, error) {
+	raw, err := atomicio.ReadFile(path)
+	if err != nil && !errors.Is(err, atomicio.ErrNoChecksum) {
+		return nil, err
+	}
+	return raw, nil
 }
 
 // progressLogHooks turns the characterization hook stream into structured
@@ -298,7 +382,7 @@ func cmdEstimate(args []string) error {
 	var model *core.Model
 	switch {
 	case *modelPath != "":
-		raw, err := os.ReadFile(*modelPath)
+		raw, err := readJSONInput(*modelPath)
 		if err != nil {
 			return err
 		}
@@ -548,16 +632,7 @@ func cmdFit(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "stored regression in library %s\n", *libDir)
 	}
-	data, err := json.MarshalIndent(pm, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if *out == "" {
-		_, err = os.Stdout.Write(data)
-		return err
-	}
-	return os.WriteFile(*out, data, 0o644)
+	return writeJSONOutput(*out, pm)
 }
 
 func cmdSynthesize(args []string) error {
@@ -568,7 +643,7 @@ func cmdSynthesize(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	raw, err := os.ReadFile(*paramPath)
+	raw, err := readJSONInput(*paramPath)
 	if err != nil {
 		return err
 	}
@@ -576,17 +651,7 @@ func cmdSynthesize(args []string) error {
 	if err != nil {
 		return err
 	}
-	model := pm.Synthesize(*width)
-	data, err := json.MarshalIndent(model, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if *out == "" {
-		_, err = os.Stdout.Write(data)
-		return err
-	}
-	return os.WriteFile(*out, data, 0o644)
+	return writeJSONOutput(*out, pm.Synthesize(*width))
 }
 
 func cmdShow(args []string) error {
@@ -595,7 +660,7 @@ func cmdShow(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	raw, err := os.ReadFile(*modelPath)
+	raw, err := readJSONInput(*modelPath)
 	if err != nil {
 		return err
 	}

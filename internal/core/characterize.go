@@ -505,6 +505,23 @@ func mergeEnhanced(total, part [][]classAcc) {
 	}
 }
 
+// verifyNetlist statically lints the meter's netlist before any pattern
+// is simulated. Meter construction finalizes the netlist, but surgery
+// (netlist.RewireGateInput/RedriveGateOutput) and corruption can happen
+// after that, and Finalize trusts caches Verify recomputes — so every
+// characterization re-checks from first principles and fails with the
+// typed, net-naming *netlist.VerifyError instead of wedging an engine.
+func verifyNetlist(meter *power.Meter, moduleName string) error {
+	nl := meter.Simulator().Netlist()
+	if nl == nil {
+		return nil
+	}
+	if err := nl.VerifyErr(); err != nil {
+		return fmt.Errorf("core: refusing to characterize %s: %w", moduleName, err)
+	}
+	return nil
+}
+
 // Characterize runs the characterization process of Section 4.1 against
 // the reference charge meter and returns the fitted model. The meter's
 // module must have at least one input bit. With Workers > 1 (or the
@@ -513,6 +530,9 @@ func mergeEnhanced(total, part [][]classAcc) {
 // CharacterizeOptions.Workers for the determinism contract.
 func Characterize(meter *power.Meter, moduleName string, opt CharacterizeOptions) (*Model, error) {
 	opt.setDefaults()
+	if err := verifyNetlist(meter, moduleName); err != nil {
+		return nil, err
+	}
 	m := meter.NumInputBits()
 	if m <= 0 {
 		return nil, fmt.Errorf("core: module %s has no inputs", moduleName)

@@ -125,8 +125,10 @@ func NewRunRecorder(module string, opt CharacterizeOptions) *RunRecorder {
 			Enhanced:       eff.Enhanced,
 			ZClusters:      eff.ZClusters,
 			PatternsBudget: eff.Patterns,
-			StartedAt:      time.Now(),
+			//hdlint:allow nondeterminism manifest timestamps are observability-only, never model inputs
+			StartedAt: time.Now(),
 		},
+		//hdlint:allow nondeterminism wall-time span feeds the manifest, not the model
 		start: time.Now(),
 		cpu0:  processCPUSeconds(),
 	}
@@ -203,6 +205,7 @@ func (r *RunRecorder) Finish(model *Model, err error) *RunManifest {
 		return &man
 	}
 	r.done = true
+	//hdlint:allow nondeterminism wall-time span feeds the manifest, not the model
 	r.man.WallSeconds = time.Since(r.start).Seconds()
 	if cpu := processCPUSeconds(); cpu > 0 {
 		r.man.CPUSeconds = cpu - r.cpu0

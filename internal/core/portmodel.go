@@ -182,6 +182,9 @@ func runPortShard(b Backend, widthA, widthB int, sh shard, seed int64) [][]class
 func CharacterizePorts(meter *power.Meter, moduleName string, widthA, widthB int,
 	opt CharacterizeOptions) (*PortModel, error) {
 	opt.setDefaults()
+	if err := verifyNetlist(meter, moduleName); err != nil {
+		return nil, err
+	}
 	m := meter.NumInputBits()
 	if widthA <= 0 || widthB <= 0 || widthA+widthB != m {
 		return nil, fmt.Errorf("core: port widths %d+%d do not match %d input bits",

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hdpower/internal/dwlib"
+	"hdpower/internal/netlist"
+	"hdpower/internal/power"
+	"hdpower/internal/sim"
+)
+
+// TestCharacterizeRejectsInjectedLoop proves the pre-characterization
+// verify hook: a netlist that was valid when the meter was built, then
+// broken by surgery behind the meter's back, is rejected with the typed
+// *netlist.VerifyError naming the cyclic nets — before any pattern is
+// simulated.
+func TestCharacterizeRejectsInjectedLoop(t *testing.T) {
+	mod, err := dwlib.Lookup("ripple-adder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := mod.Build(4)
+	meter, err := power.NewMeter(nl, sim.EventDriven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := CharacterizeOptions{Patterns: 64, Seed: 1, Workers: 1}
+
+	// The untouched netlist characterizes fine.
+	if _, err := Characterize(meter, "ripple-adder", opt); err != nil {
+		t.Fatalf("clean netlist rejected: %v", err)
+	}
+
+	// Feed gate 0 its own output: a combinational self-loop.
+	nl.RewireGateInput(0, 0, nl.GateOutput(0))
+
+	_, err = Characterize(meter, "ripple-adder", opt)
+	if err == nil {
+		t.Fatal("Characterize accepted a netlist with a combinational loop")
+	}
+	var verr *netlist.VerifyError
+	if !errors.As(err, &verr) {
+		t.Fatalf("error is not a *netlist.VerifyError: %v", err)
+	}
+	var loop *netlist.Diag
+	for i := range verr.Diags {
+		if verr.Diags[i].Code == netlist.DiagCombLoop {
+			loop = &verr.Diags[i]
+		}
+	}
+	if loop == nil {
+		t.Fatalf("no comb-loop diagnostic in %v", err)
+	}
+	if len(loop.Nets) < 2 || loop.Nets[0] != loop.Nets[len(loop.Nets)-1] {
+		t.Fatalf("comb-loop diagnostic does not name a closed cycle: %v", loop.Nets)
+	}
+	if !strings.Contains(err.Error(), loop.Nets[0]) {
+		t.Fatalf("error message %q does not name the cyclic net %q", err, loop.Nets[0])
+	}
+}
+
+// TestCharacterizePortsRejectsInjectedLoop covers the same hook on the
+// two-port characterization path.
+func TestCharacterizePortsRejectsInjectedLoop(t *testing.T) {
+	mod, err := dwlib.Lookup("csa-multiplier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := mod.Build(4)
+	meter, err := power.NewMeter(nl, sim.EventDriven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl.RewireGateInput(0, 0, nl.GateOutput(0))
+	_, err = CharacterizePorts(meter, "csa-multiplier", 4, 4,
+		CharacterizeOptions{Patterns: 64, Seed: 1, Workers: 1})
+	var verr *netlist.VerifyError
+	if !errors.As(err, &verr) {
+		t.Fatalf("CharacterizePorts did not return a *netlist.VerifyError: %v", err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"hdpower/internal/atomicio"
 	"hdpower/internal/core"
 	"hdpower/internal/dwlib"
 	"hdpower/internal/power"
@@ -163,7 +164,7 @@ func (s *Suite) writeManifest(name string, width int, enhanced bool, man *core.R
 	}
 	data, err := json.MarshalIndent(man, "", "  ")
 	if err == nil {
-		err = os.WriteFile(filepath.Join(s.cfg.ManifestDir, file), append(data, '\n'), 0o644)
+		err = atomicio.WriteFile(filepath.Join(s.cfg.ManifestDir, file), append(data, '\n'), 0o644)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: manifest %s: %v\n", file, err)

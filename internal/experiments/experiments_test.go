@@ -3,13 +3,13 @@ package experiments
 import (
 	"encoding/json"
 	"math"
-	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
 	"sync"
 	"testing"
 
+	"hdpower/internal/atomicio"
 	"hdpower/internal/core"
 	"hdpower/internal/stimuli"
 )
@@ -297,7 +297,9 @@ func TestSuiteManifests(t *testing.T) {
 		"ripple-adder-w8.manifest.json",
 		"ripple-adder-w8-enh.manifest.json",
 	} {
-		raw, err := os.ReadFile(filepath.Join(cfg.ManifestDir, file))
+		// Manifests are written through atomicio and carry its checksum
+		// trailer; ReadFile verifies and strips it.
+		raw, err := atomicio.ReadFile(filepath.Join(cfg.ManifestDir, file))
 		if err != nil {
 			t.Fatalf("manifest %s: %v", file, err)
 		}

@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// AtomicWriteAnalyzer enforces the durability contract: every durable
+// artifact — models, regressions, checkpoints, manifests, trace dumps —
+// goes through internal/atomicio's temp-file + fsync + rename + checksum
+// discipline, so a crash at any instant leaves either the old file or the
+// new file, never a torn mixture.
+//
+// Raw calls to os.WriteFile, os.Create and os.Rename are therefore
+// forbidden everywhere except inside the atomicio package itself (which
+// implements the discipline) and in *_test.go files (which fabricate
+// corrupt and legacy inputs on purpose). Non-durable uses — a scratch
+// file that is deliberately allowed to tear — suppress per line with a
+// reason.
+var AtomicWriteAnalyzer = &Analyzer{
+	Name: "atomicwrite",
+	Doc:  "forbid raw os.WriteFile/os.Create/os.Rename outside internal/atomicio",
+	Run:  runAtomicWrite,
+}
+
+var rawWriteFns = [...]string{"WriteFile", "Create", "Rename"}
+
+func runAtomicWrite(m *Module, cfg Config) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range m.Packages {
+		if pkg.Dir == cfg.AtomicIODir {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, fn := range rawWriteFns {
+					if pkg.PkgCall(f, call, "os", fn) {
+						out = append(out, diagAt(m, call.Pos(), "atomicwrite",
+							fmt.Sprintf("raw os.%s: durable artifacts must go through %s (atomic rename + fsync + checksum trailer)", fn, cfg.AtomicIODir)))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// FaultpointAnalyzer keeps the fault-injection surface honest. A fault
+// point only earns its keep when chaos runs can actually arm it, which
+// requires four properties the compiler never checks:
+//
+//   - every faultpoint.Hit/Delay call site names its point with a string
+//     literal (a computed name can never be matched by an arming spec);
+//   - every planted name is registered in the faultpoint package's
+//     Known list, the single source of truth arming specs are written
+//     against, and the list has no duplicates;
+//   - every registered name is actually planted somewhere (a stale
+//     registry entry arms nothing and gives false chaos confidence);
+//   - every registered name is exercised: it appears in a chaos arming
+//     spec in the Makefile or in at least one *_test.go file.
+var FaultpointAnalyzer = &Analyzer{
+	Name: "faultpoint",
+	Doc:  "fault point names must be literal, registered in faultpoint.Known, planted, and chaos-exercised",
+	Run:  runFaultpoint,
+}
+
+// faultpointSite is one faultpoint.Hit/Delay call site.
+type faultpointSite struct {
+	name string
+	pos  token.Pos
+}
+
+func runFaultpoint(m *Module, cfg Config) []Diagnostic {
+	var out []Diagnostic
+	fpImport := m.Path + "/" + cfg.FaultpointDir
+
+	// Collect the planted sites across all non-test files (the faultpoint
+	// package itself calls its internals unqualified, so it is naturally
+	// excluded by the qualified-call matching).
+	var sites []faultpointSite
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, fn := range [...]string{"Hit", "Delay"} {
+					if !pkg.PkgCall(f, call, fpImport, fn) {
+						continue
+					}
+					if len(call.Args) != 1 {
+						continue
+					}
+					lit, ok := call.Args[0].(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						out = append(out, diagAt(m, call.Pos(), "faultpoint",
+							fmt.Sprintf("faultpoint.%s name must be a string literal so chaos arming specs can reference it", fn)))
+						continue
+					}
+					name, err := strconv.Unquote(lit.Value)
+					if err != nil || name == "" {
+						out = append(out, diagAt(m, lit.Pos(), "faultpoint",
+							"fault point name must be a non-empty string literal"))
+						continue
+					}
+					sites = append(sites, faultpointSite{name: name, pos: call.Pos()})
+				}
+				return true
+			})
+		}
+	}
+
+	// Extract the registry: var Known = []string{...} in the faultpoint
+	// package.
+	reg, regPos, found := knownRegistry(m, cfg)
+	if !found {
+		if len(sites) > 0 {
+			out = append(out, diagAt(m, sites[0].pos, "faultpoint",
+				fmt.Sprintf("no `var Known = []string{...}` registry found in %s; fault points cannot be cross-checked", cfg.FaultpointDir)))
+		}
+		return out
+	}
+
+	// Uniqueness within the registry.
+	seen := make(map[string]bool)
+	for i, name := range reg {
+		if seen[name] {
+			out = append(out, diagAt(m, regPos[i], "faultpoint",
+				fmt.Sprintf("duplicate fault point %q in Known registry", name)))
+		}
+		seen[name] = true
+	}
+
+	// Every planted site must be registered.
+	planted := make(map[string]bool)
+	for _, s := range sites {
+		planted[s.name] = true
+		if !seen[s.name] {
+			out = append(out, diagAt(m, s.pos, "faultpoint",
+				fmt.Sprintf("fault point %q is not registered in %s.Known", s.name, cfg.FaultpointDir)))
+		}
+	}
+
+	// Every registered name must be planted and chaos-exercised.
+	testRefs := testStringLiterals(m)
+	for i, name := range reg {
+		if !planted[name] {
+			out = append(out, diagAt(m, regPos[i], "faultpoint",
+				fmt.Sprintf("registered fault point %q has no faultpoint.Hit/Delay call site", name)))
+		}
+		if !strings.Contains(m.Makefile, name) && !testRefs[name] {
+			out = append(out, diagAt(m, regPos[i], "faultpoint",
+				fmt.Sprintf("registered fault point %q is not armed by any Makefile target or referenced by any test", name)))
+		}
+	}
+	return out
+}
+
+// knownRegistry finds `var Known = []string{...}` in the faultpoint
+// package and returns its entries with their positions.
+func knownRegistry(m *Module, cfg Config) (names []string, poss []token.Pos, found bool) {
+	for _, pkg := range m.Packages {
+		if pkg.Dir != cfg.FaultpointDir {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.AST.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "Known" || len(vs.Values) != 1 {
+						continue
+					}
+					cl, ok := vs.Values[0].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					for _, elt := range cl.Elts {
+						lit, ok := elt.(*ast.BasicLit)
+						if !ok || lit.Kind != token.STRING {
+							continue
+						}
+						if name, err := strconv.Unquote(lit.Value); err == nil {
+							names = append(names, name)
+							poss = append(poss, lit.Pos())
+						}
+					}
+					return names, poss, true
+				}
+			}
+		}
+	}
+	return nil, nil, false
+}
+
+// testStringLiterals collects every fault-point-shaped reference in test
+// files: a registered name counts as exercised when any test mentions it
+// inside a string literal (arming specs, Hits assertions).
+func testStringLiterals(m *Module) map[string]bool {
+	out := make(map[string]bool)
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.TestFiles {
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				lit, ok := n.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				if s, err := strconv.Unquote(lit.Value); err == nil {
+					// Arming specs pack several names in one literal;
+					// index by every plausible token.
+					for _, tok := range strings.FieldsFunc(s, func(r rune) bool {
+						return r == ';' || r == ',' || r == '=' || r == ':' || r == ' ' || r == '\''
+					}) {
+						out[tok] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// HookBalanceAnalyzer enforces the span contract of core.Hooks: every
+// started phase ends. Observers (trace spans, progress bars, flight
+// recorders) rely on PhaseStart/PhaseEnd arriving in balanced pairs even
+// when a run is cut short, so a code path that fires PhaseStart and then
+// returns without PhaseEnd leaks a span and wedges progress displays.
+//
+// Within each function body (function literals are analyzed as their own
+// bodies), the analyzer tracks PhaseStart/phaseStart and
+// PhaseEnd/phaseEnd calls in source order as an open-phase counter and
+// flags:
+//
+//   - a return statement while a phase is open, and
+//   - a function end with a phase still open,
+//
+// unless the function defers a PhaseEnd, which balances every path.
+// Exempt as hook *implementations* rather than call sites: functions
+// named phaseStart/phaseEnd themselves, and function literals assigned to
+// a PhaseStart/PhaseEnd field (forwarders like JoinHooks).
+//
+// The source-order counter is deliberately control-flow-blind: it accepts
+// the repo's straight-line start...end blocks and flags early returns
+// inside them, at the price of misjudging exotic shapes (e.g. ends on
+// both arms of a branch). Those suppress per line with a reason.
+var HookBalanceAnalyzer = &Analyzer{
+	Name: "hookbalance",
+	Doc:  "every Hooks.PhaseStart call site must reach a PhaseEnd on all return paths",
+	Run:  runHookBalance,
+}
+
+func isPhaseName(name string, kind string) bool {
+	return name == kind || name == upperFirst(kind)
+}
+
+func upperFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	return string(s[0]-'a'+'A') + s[1:]
+}
+
+// phaseCall reports whether expr is a call to a phaseStart- or
+// phaseEnd-named method/function ("start" or "end").
+func phaseCall(n ast.Node) (kind string, call *ast.CallExpr) {
+	c, ok := n.(*ast.CallExpr)
+	if !ok {
+		return "", nil
+	}
+	var name string
+	switch fun := c.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return "", nil
+	}
+	switch {
+	case isPhaseName(name, "phaseStart"):
+		return "start", c
+	case isPhaseName(name, "phaseEnd"):
+		return "end", c
+	}
+	return "", nil
+}
+
+func runHookBalance(m *Module, cfg Config) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			out = append(out, hookBalanceFile(m, f)...)
+		}
+	}
+	return out
+}
+
+func hookBalanceFile(m *Module, f *File) []Diagnostic {
+	var out []Diagnostic
+
+	// Pre-pass: function literals that *implement* a PhaseStart/PhaseEnd
+	// hook field are forwarders, not call sites.
+	implLits := make(map[*ast.FuncLit]bool)
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.KeyValueExpr:
+			if key, ok := n.Key.(*ast.Ident); ok && isHookField(key.Name) {
+				if lit, ok := n.Value.(*ast.FuncLit); ok {
+					implLits[lit] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok || !isHookField(sel.Sel.Name) || i >= len(n.Rhs) {
+					continue
+				}
+				if lit, ok := n.Rhs[i].(*ast.FuncLit); ok {
+					implLits[lit] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Collect the bodies to analyze: each function declaration and each
+	// function literal is its own scope.
+	type body struct {
+		node ast.Node
+		skip bool
+	}
+	var bodies []body
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				skip := isPhaseName(n.Name.Name, "phaseStart") || isPhaseName(n.Name.Name, "phaseEnd")
+				bodies = append(bodies, body{node: n.Body, skip: skip})
+			}
+		case *ast.FuncLit:
+			bodies = append(bodies, body{node: n.Body, skip: implLits[n]})
+		}
+		return true
+	})
+
+	for _, b := range bodies {
+		if b.skip {
+			continue
+		}
+		out = append(out, hookBalanceBody(m, b.node)...)
+	}
+	return out
+}
+
+func isHookField(name string) bool {
+	return name == "PhaseStart" || name == "PhaseEnd"
+}
+
+// hookBalanceBody walks one function body in source order (not descending
+// into nested function literals) and applies the open-phase counter.
+func hookBalanceBody(m *Module, root ast.Node) []Diagnostic {
+	var out []Diagnostic
+	var openStarts []token.Pos
+	deferred := false
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate scope, analyzed on its own
+		case *ast.DeferStmt:
+			if kind, _ := phaseCall(n.Call); kind == "end" {
+				deferred = true
+				return false // the deferred call is the balance, not a stack op
+			}
+		case *ast.CallExpr:
+			switch kind, _ := phaseCall(n); kind {
+			case "start":
+				openStarts = append(openStarts, n.Pos())
+			case "end":
+				if len(openStarts) > 0 {
+					openStarts = openStarts[:len(openStarts)-1]
+				}
+			}
+		case *ast.ReturnStmt:
+			if len(openStarts) > 0 && !deferred {
+				out = append(out, diagAt(m, n.Pos(), "hookbalance",
+					"return while a phase is open: PhaseStart has no PhaseEnd on this path (observers leak a span)"))
+			}
+		}
+		return true
+	}
+	ast.Inspect(root, walk)
+
+	if len(openStarts) > 0 && !deferred {
+		for _, pos := range openStarts {
+			out = append(out, diagAt(m, pos, "hookbalance",
+				"PhaseStart without a matching PhaseEnd before the function ends"))
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NondeterminismAnalyzer enforces the reproducibility contract of the
+// deterministic packages (Config.DeterministicDirs): a characterization
+// must be bit-identical for every worker count, backend and resume point,
+// so nothing on those paths may consult ambient nondeterminism.
+//
+// Flagged in non-test files of the deterministic packages:
+//
+//   - time.Now and time.Since calls — wall-clock input. Observability
+//     code that only timestamps manifests suppresses per line with a
+//     reason.
+//   - calls to the global math/rand generator (rand.Intn, rand.Float64,
+//     rand.Shuffle, ...) — process-global, seed-shared state. Seeded
+//     instances via rand.New(rand.NewSource(seed)) remain the sanctioned
+//     pattern and are not flagged.
+//   - range over a map — Go randomizes map iteration order per run, so
+//     any map walk that feeds ordered output (merges, serialization,
+//     accumulation in float arithmetic) breaks bit-identical results.
+//     Order-insensitive walks suppress per line with a reason.
+var NondeterminismAnalyzer = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "forbid wall-clock, global math/rand and map-iteration order in the deterministic packages",
+	Run:  runNondeterminism,
+}
+
+// globalRandFns are the math/rand top-level functions backed by the
+// process-global generator. Constructors (New, NewSource, NewZipf) are
+// fine: they are how deterministic seeded streams are built.
+var globalRandFns = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true, "ExpFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+func runNondeterminism(m *Module, cfg Config) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range m.Packages {
+		if !dirCovered(pkg.Dir, cfg.DeterministicDirs) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					for _, fn := range [...]string{"Now", "Since"} {
+						if pkg.PkgCall(f, n, "time", fn) {
+							out = append(out, diagAt(m, n.Pos(), "nondeterminism",
+								fmt.Sprintf("time.%s in deterministic package %s: results must not depend on wall time", fn, pkg.Dir)))
+						}
+					}
+					if sel, ok := n.Fun.(*ast.SelectorExpr); ok && globalRandFns[sel.Sel.Name] &&
+						pkg.pkgQualifier(f, sel, "math/rand") {
+						out = append(out, diagAt(m, n.Pos(), "nondeterminism",
+							fmt.Sprintf("global math/rand.%s in deterministic package %s: use a seeded rand.New(rand.NewSource(seed)) instance", sel.Sel.Name, pkg.Dir)))
+					}
+				case *ast.RangeStmt:
+					if isMapType(pkg, n.X) {
+						out = append(out, diagAt(m, n.Pos(), "nondeterminism",
+							fmt.Sprintf("range over map in deterministic package %s: iteration order is randomized; iterate sorted keys or an ordered slice", pkg.Dir)))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isMapType reports whether expr's (best-effort) static type is a map.
+// With stub imports only locally inferable types resolve; unresolved
+// types are conservatively not flagged.
+func isMapType(pkg *Package, expr ast.Expr) bool {
+	if pkg.Info == nil {
+		return false
+	}
+	t := pkg.Info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// dirCovered reports whether dir is one of the listed dirs or nested
+// inside one.
+func dirCovered(dir string, roots []string) bool {
+	for _, r := range roots {
+		if dir == r || strings.HasPrefix(dir, r+"/") {
+			return true
+		}
+	}
+	return false
+}

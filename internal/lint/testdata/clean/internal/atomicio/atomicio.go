@@ -1,0 +1,14 @@
+// Package atomicio implements the fixture's durable-write discipline;
+// it is the one package allowed to touch the raw primitives.
+package atomicio
+
+import "os"
+
+// WriteFile stands in for the real temp-file + rename discipline.
+func WriteFile(path string, data []byte, mode os.FileMode) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, mode); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,10 @@
+// Package faultpoint is the clean fixture's fault-injection registry.
+package faultpoint
+
+// Known lists every planted fault point.
+var Known = []string{
+	"store.flush",
+}
+
+// Hit reports whether the named fault point fires.
+func Hit(name string) bool { return name == "" }

@@ -1,0 +1,19 @@
+// Package store persists durable artifacts through atomicio only.
+package store
+
+import (
+	"errors"
+
+	"fixture/internal/atomicio"
+	"fixture/internal/faultpoint"
+)
+
+var errInjected = errors.New("injected")
+
+// Save writes durably, with a registered, Makefile-armed fault point.
+func Save(path string, data []byte) error {
+	if faultpoint.Hit("store.flush") {
+		return errInjected
+	}
+	return atomicio.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,75 @@
+package core
+
+import "errors"
+
+// Hooks carries the observer callbacks of the fixture.
+type Hooks struct {
+	PhaseStart func(name string)
+	PhaseEnd   func(name string)
+}
+
+var errNope = errors.New("nope")
+
+func work() bool { return false }
+
+// phaseStart and phaseEnd are the nil-safe dispatchers; as hook
+// implementations they are exempt from the balance check.
+func phaseStart(h *Hooks, name string) {
+	if h.PhaseStart != nil {
+		h.PhaseStart(name)
+	}
+}
+
+func phaseEnd(h *Hooks, name string) {
+	if h.PhaseEnd != nil {
+		h.PhaseEnd(name)
+	}
+}
+
+// Balanced pairs start and end on the single path; not flagged.
+func Balanced(h *Hooks) {
+	phaseStart(h, "basic")
+	work()
+	phaseEnd(h, "basic")
+}
+
+// DeferBalanced ends the phase on every path via defer; not flagged.
+func DeferBalanced(h *Hooks) error {
+	phaseStart(h, "basic")
+	defer phaseEnd(h, "basic")
+	if !work() {
+		return errNope
+	}
+	return nil
+}
+
+// LeakyReturn leaks the open span on the early return.
+func LeakyReturn(h *Hooks) error {
+	phaseStart(h, "basic")
+	if !work() {
+		return errNope // want hookbalance
+	}
+	phaseEnd(h, "basic")
+	return nil
+}
+
+// LeakyEnd never ends the phase it starts.
+func LeakyEnd(h *Hooks) {
+	phaseStart(h, "biased") // want hookbalance
+	work()
+}
+
+// JoinHooks forwards to both hook sets; the function literals implement
+// the hook fields and are exempt forwarders, not call sites.
+func JoinHooks(a, b *Hooks) *Hooks {
+	return &Hooks{
+		PhaseStart: func(name string) {
+			a.PhaseStart(name)
+			b.PhaseStart(name)
+		},
+		PhaseEnd: func(name string) {
+			a.PhaseEnd(name)
+			b.PhaseEnd(name)
+		},
+	}
+}

@@ -1,0 +1,44 @@
+// Package core is the violating fixture's deterministic package: every
+// marked line below must be flagged by the nondeterminism analyzer.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock consults the wall clock.
+func Clock() time.Time {
+	return time.Now() // want nondeterminism
+}
+
+// Span measures a wall-time span.
+func Span(t time.Time) time.Duration {
+	return time.Since(t) // want nondeterminism
+}
+
+// Roll uses the process-global generator.
+func Roll() int {
+	return rand.Intn(6) // want nondeterminism
+}
+
+// SeededRoll is the sanctioned seeded-instance pattern; not flagged.
+func SeededRoll(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// Sum walks a map in randomized iteration order.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want nondeterminism
+		total += v
+	}
+	return total
+}
+
+// Allowed demonstrates a justified escape hatch: no finding survives.
+func Allowed() time.Time {
+	//hdlint:allow nondeterminism fixture demonstrates a justified waiver
+	return time.Now()
+}

@@ -1,0 +1,17 @@
+package core
+
+// The directives below are escape-hatch hygiene violations: an unknown
+// check name, a missing reason, and a directive that suppresses nothing.
+
+// want allow
+//hdlint:allow nosuchcheck the check name is wrong
+
+// want allow
+//hdlint:allow nondeterminism
+
+// Waive carries an unused directive: nothing it could suppress exists.
+func Waive() int {
+	// want allow
+	//hdlint:allow atomicwrite nothing on the next line writes anything
+	return 1
+}

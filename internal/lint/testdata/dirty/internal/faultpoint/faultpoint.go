@@ -1,0 +1,17 @@
+// Package faultpoint is the violating fixture's fault-injection
+// registry: it contains a duplicate and a stale entry on purpose.
+package faultpoint
+
+// Known is the fixture registry.
+var Known = []string{
+	"core.armed",
+	"core.dup",
+	"core.dup",   // want faultpoint
+	"core.stale", // want faultpoint faultpoint
+}
+
+// Hit reports whether the named fault point fires.
+func Hit(name string) bool { return name == "" }
+
+// Delay stalls at the named fault point.
+func Delay(name string) { _ = name }

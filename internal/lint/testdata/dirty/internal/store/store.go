@@ -1,0 +1,26 @@
+// Package store is the violating fixture's persistence layer: every
+// marked raw write below must be flagged by the atomicwrite analyzer.
+package store
+
+import "os"
+
+// Save writes raw — torn on crash.
+func Save(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want atomicwrite
+}
+
+// Open creates raw.
+func Open(path string) (*os.File, error) {
+	return os.Create(path) // want atomicwrite
+}
+
+// Move renames raw.
+func Move(a, b string) error {
+	return os.Rename(a, b) // want atomicwrite
+}
+
+// Scratch is a justified waiver: a file that is allowed to tear.
+func Scratch(path string, data []byte) error {
+	//hdlint:allow atomicwrite scratch file, deliberately allowed to tear
+	return os.WriteFile(path, data, 0o600)
+}

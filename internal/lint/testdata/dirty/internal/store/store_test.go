@@ -1,0 +1,15 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Tests fabricate corrupt inputs on purpose; raw writes are exempt here.
+func TestFabricateCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn")
+	if err := os.WriteFile(path, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

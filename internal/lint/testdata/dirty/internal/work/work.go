@@ -1,0 +1,28 @@
+// Package work plants the fixture's fault points: one registered and
+// Makefile-armed, one registered and test-armed, one unregistered, and
+// one with a computed (unmatchable) name.
+package work
+
+import (
+	"errors"
+
+	"fixture/internal/faultpoint"
+)
+
+var errInjected = errors.New("injected")
+
+// Step exercises every call-site shape the faultpoint analyzer judges.
+func Step() error {
+	if faultpoint.Hit("core.armed") {
+		return errInjected
+	}
+	faultpoint.Delay("core.dup")
+	if faultpoint.Hit("core.rogue") { // want faultpoint
+		return errInjected
+	}
+	name := "core" + ".computed"
+	if faultpoint.Hit(name) { // want faultpoint
+		return errInjected
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package work
+
+import "testing"
+
+// TestChaosDup arms core.dup from a test, which counts as
+// chaos-exercised for the faultpoint analyzer.
+func TestChaosDup(t *testing.T) {
+	t.Setenv("FIXTURE_FAULTPOINTS", "core.dup=err")
+	if err := Step(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+package netlist
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hdpower/internal/cells"
+)
+
+// buildAdderish returns a small valid netlist: two 2-bit inputs through a
+// half-adder-per-bit structure with a 2-bit sum output.
+func buildAdderish(t *testing.T) *Netlist {
+	t.Helper()
+	n := New("verify-fixture")
+	a := n.AddInputBus("a", 2)
+	b := n.AddInputBus("b", 2)
+	s0, _ := n.HalfAdder(a.Nets[0], b.Nets[0])
+	s1, _ := n.HalfAdder(a.Nets[1], b.Nets[1])
+	n.MarkOutputBus("sum", []NetID{s0, s1})
+	return n
+}
+
+func diagsByCode(diags []Diag, code DiagCode) []Diag {
+	var out []Diag
+	for _, d := range diags {
+		if d.Code == code {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func TestVerifyCleanNetlist(t *testing.T) {
+	n := buildAdderish(t)
+	diags := n.Verify()
+	for _, d := range diags {
+		if d.Severity == SevError {
+			t.Errorf("clean netlist produced error diagnostic: %s", d)
+		}
+	}
+	if err := n.VerifyErr(); err != nil {
+		t.Fatalf("VerifyErr on clean netlist: %v", err)
+	}
+	// The fixture keeps every carry gate dangling, so the unreachable
+	// check must see them (warnings only).
+	if got := diagsByCode(diags, DiagUnreachable); len(got) == 0 {
+		t.Error("expected unreachable-gate warnings for the dropped carry gates")
+	}
+}
+
+func TestVerifyInjectedCombLoop(t *testing.T) {
+	n := buildAdderish(t)
+	// Self-loop: gate 0's first input becomes its own output net.
+	out := n.GateOutput(0)
+	n.RewireGateInput(0, 0, out)
+
+	diags := diagsByCode(n.Verify(), DiagCombLoop)
+	if len(diags) != 1 {
+		t.Fatalf("want exactly one comb-loop diagnostic, got %v", diags)
+	}
+	d := diags[0]
+	if d.Severity != SevError {
+		t.Errorf("comb-loop severity = %v, want error", d.Severity)
+	}
+	wantNet := n.NetName(out)
+	found := false
+	for _, nm := range d.Nets {
+		if nm == wantNet {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("comb-loop diagnostic %q does not name net %q", d, wantNet)
+	}
+
+	err := n.VerifyErr()
+	var ve *VerifyError
+	if !errors.As(err, &ve) {
+		t.Fatalf("VerifyErr = %v, want *VerifyError", err)
+	}
+	if !strings.Contains(ve.Error(), wantNet) {
+		t.Errorf("VerifyError %q does not name net %q", ve.Error(), wantNet)
+	}
+	// Finalize must agree that the surgered netlist is broken.
+	if ferr := n.Finalize(); ferr == nil {
+		t.Error("Finalize accepted a netlist with an injected loop")
+	}
+}
+
+func TestVerifyMultiCycleLoop(t *testing.T) {
+	// A two-gate cycle threaded through downstream logic: the backward
+	// cycle walk must not get lost in the (also residual) downstream cone.
+	n := New("two-gate-loop")
+	a := n.AddInputBus("a", 1)
+	g1 := n.And(a.Nets[0], a.Nets[0])
+	g2 := n.Or(g1, a.Nets[0])
+	g3 := n.Xor(g2, a.Nets[0]) // downstream of the cycle
+	n.MarkOutputBus("y", []NetID{g3})
+	// Close the cycle: the AND's second input becomes the OR's output.
+	n.RewireGateInput(0, 1, g2)
+
+	diags := diagsByCode(n.Verify(), DiagCombLoop)
+	if len(diags) != 1 {
+		t.Fatalf("want one comb-loop diagnostic, got %v", diags)
+	}
+	names := strings.Join(diags[0].Nets, " ")
+	if !strings.Contains(names, n.NetName(g1)) || !strings.Contains(names, n.NetName(g2)) {
+		t.Errorf("cycle %v should run through %q and %q", diags[0].Nets, n.NetName(g1), n.NetName(g2))
+	}
+	for _, nm := range diags[0].Nets {
+		if nm == n.NetName(g3) {
+			t.Errorf("cycle %v wrongly includes downstream net %q", diags[0].Nets, nm)
+		}
+	}
+}
+
+func TestVerifyMultiDrivenAndFloating(t *testing.T) {
+	n := buildAdderish(t)
+	victim := n.GateOutput(0) // s0's XOR output
+	lastGate := GateID(n.NumGates() - 1)
+	orphaned := n.GateOutput(lastGate)
+	n.RedriveGateOutput(lastGate, victim)
+
+	diags := n.Verify()
+	multi := diagsByCode(diags, DiagMultiDriven)
+	if len(multi) != 1 {
+		t.Fatalf("want one multi-driven diagnostic, got %v", multi)
+	}
+	if multi[0].Nets[0] != n.NetName(victim) {
+		t.Errorf("multi-driven diagnostic names %q, want %q", multi[0].Nets[0], n.NetName(victim))
+	}
+	if len(multi[0].Gates) != 2 {
+		t.Errorf("multi-driven diagnostic lists gates %v, want both drivers", multi[0].Gates)
+	}
+	// The gate's former output net lost its only driver.
+	floating := diagsByCode(diags, DiagFloatingNet)
+	if len(floating) != 1 || floating[0].Nets[0] != n.NetName(orphaned) {
+		t.Fatalf("want floating-net diagnostic for %q, got %v", n.NetName(orphaned), floating)
+	}
+	if err := n.VerifyErr(); err == nil {
+		t.Fatal("VerifyErr accepted a multi-driven netlist")
+	}
+}
+
+func TestVerifyWidthMismatches(t *testing.T) {
+	n := buildAdderish(t)
+	// Corrupt shape directly (white box): an out-of-range bus net and a
+	// wrong-arity gate.
+	n.outputs[0].Nets = append(n.outputs[0].Nets, NetID(9999))
+	n.gates[0].in = n.gates[0].in[:1]
+
+	diags := diagsByCode(n.Verify(), DiagWidth)
+	if len(diags) != 2 {
+		t.Fatalf("want 2 width-mismatch diagnostics, got %v", diags)
+	}
+	if err := n.VerifyErr(); err == nil {
+		t.Fatal("VerifyErr accepted shape corruption")
+	}
+}
+
+func TestVerifyDupBusNetWarnsOnly(t *testing.T) {
+	n := New("signext")
+	a := n.AddInputBus("a", 1)
+	g := n.AddGate(cells.Buf, a.Nets[0])
+	// Sign-extension style bus: the same net on two bits. Legal, but the
+	// linter should surface it as a warning.
+	n.MarkOutputBus("y", []NetID{g, g})
+	diags := diagsByCode(n.Verify(), DiagDupBusNet)
+	if len(diags) != 1 || diags[0].Severity != SevWarning {
+		t.Fatalf("want one dup-bus-net warning, got %v", diags)
+	}
+	if err := n.VerifyErr(); err != nil {
+		t.Fatalf("dup-bus-net must not fail VerifyErr: %v", err)
+	}
+}
+
+func TestSurgeryDefinalizes(t *testing.T) {
+	n := buildAdderish(t)
+	if err := n.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	n.RewireGateInput(0, 0, n.GateOutput(0))
+	if err := n.Finalize(); err == nil {
+		t.Fatal("Finalize after loop surgery should revalidate and fail")
+	}
+}
