@@ -5,12 +5,17 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 
 # Enforced coverage floors (percent of statements) for the packages the
-# paper's correctness hangs on; `make cover` fails below them.
+# paper's correctness hangs on; `make cover` fails below them. The LUT
+# and Hd-distribution memo floors guard the estimate fast path: a wrong
+# flattened table silently misprices every fast-path answer.
 COVER_FLOOR_CORE   ?= 90
 COVER_FLOOR_SIM    ?= 90
 COVER_FLOOR_BITSIM ?= 90
+COVER_FLOOR_LUT    ?= 90
+COVER_FLOOR_HDDIST ?= 90
 
-.PHONY: test lint race chaos cover bench bench-char bench-fresh bench-gate repro
+.PHONY: test lint race chaos cover bench bench-char bench-fresh bench-gate repro \
+	serve-bench serve-fresh serve-load serve-gate
 
 # Tier-1 gate: everything builds, everything passes.
 test:
@@ -56,7 +61,10 @@ cover:
 	$(GO) test -coverprofile=coverage_core.out ./internal/core
 	$(GO) test -coverprofile=coverage_sim.out ./internal/sim
 	$(GO) test -coverprofile=coverage_bitsim.out ./internal/bitsim
-	@for spec in core:$(COVER_FLOOR_CORE) sim:$(COVER_FLOOR_SIM) bitsim:$(COVER_FLOOR_BITSIM); do \
+	$(GO) test -coverprofile=coverage_lut.out ./internal/lut
+	$(GO) test -coverprofile=coverage_hddist.out ./internal/hddist
+	@for spec in core:$(COVER_FLOOR_CORE) sim:$(COVER_FLOOR_SIM) bitsim:$(COVER_FLOOR_BITSIM) \
+			lut:$(COVER_FLOOR_LUT) hddist:$(COVER_FLOOR_HDDIST); do \
 		pkg=$${spec%%:*}; floor=$${spec##*:}; \
 		total=$$($(GO) tool cover -func=coverage_$$pkg.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 		echo "internal/$$pkg coverage: $$total% (floor $$floor%)"; \
@@ -92,6 +100,49 @@ bench-gate: bench-fresh
 		-min-speedup 5 \
 		-speedup-base 'CharacterizeParallel/workers=1' \
 		-speedup-target 'CharacterizeBitParallel/workers=1' 
+
+# Serving-performance benchmark: start hdserve on a loopback port, drive
+# it with the hdload closed-loop generator, and collect benchjson records
+# (p50/p99 ns, qps, server-side allocs/op) for the unary and streaming
+# estimate planes.
+SERVE_ADDR ?= 127.0.0.1:18080
+SERVE_LOAD_FLAGS ?= -models csa-multiplier:8,ripple-adder:8 -patterns 2000 \
+	-mix mixed -concurrency 4 -duration 5s -warmup 1s
+
+# Overwrites the committed BENCH_serve.json baseline — use serve-gate to
+# compare against it instead.
+serve-bench:
+	@$(MAKE) --no-print-directory serve-load SERVE_OUT=BENCH_serve.json
+
+# Fresh numbers without touching the committed baseline.
+serve-fresh:
+	@$(MAKE) --no-print-directory serve-load SERVE_OUT=BENCH_serve_fresh.json
+
+serve-load:
+	$(GO) build -o bin/hdserve ./cmd/hdserve
+	$(GO) build -o bin/hdload ./cmd/hdload
+	@set -e; \
+	bin/hdserve -addr $(SERVE_ADDR) >bin/hdserve.log 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	bin/hdload -url http://$(SERVE_ADDR) $(SERVE_LOAD_FLAGS) -o $(SERVE_OUT); \
+	cat $(SERVE_OUT)
+
+# Serving-latency/alloc gate: fresh hdload numbers must stay within 60%
+# of the committed BENCH_serve.json on qps AND inside absolute budgets —
+# p99 round-trip latency and server allocs per estimate, per plane. The
+# allocs ceilings are the teeth: the unary plane pays ~75 net/http
+# allocations per request and the streaming plane ~2 per line, so a
+# regression that re-introduces per-estimate allocation (the lut fast
+# path decaying to the legacy decoder) blows the stream ceiling
+# immediately. QPS floors depend on host speed, so like bench-gate's
+# scaling floor they are CI-only (see .github/workflows/ci.yml).
+serve-gate: serve-fresh
+	$(GO) run ./cmd/benchcmp -old BENCH_serve.json -new BENCH_serve_fresh.json \
+		-metric qps -max-regress 0.6 \
+		-budget-match unary -max-p99 25000000 -max-allocs 150
+	$(GO) run ./cmd/benchcmp -old BENCH_serve.json -new BENCH_serve_fresh.json \
+		-metric qps -max-regress 0.6 \
+		-budget-match stream -max-p99 80000000 -max-allocs 16
 
 # Regenerate the paper's tables and figures at full scale.
 repro:

@@ -1,7 +1,8 @@
 // Command benchcmp is the CI bench-regression gate: it compares two
-// benchmark JSON files produced by cmd/benchjson and fails (exit 1) when
-// the new run regresses a higher-is-better metric beyond a tolerance, or
-// when the worker-scaling ratio drops below a floor.
+// benchmark JSON files produced by cmd/benchjson (or cmd/hdload) and
+// fails (exit 1) when the new run regresses a higher-is-better metric
+// beyond a tolerance, when the worker-scaling ratio drops below a floor,
+// or when an absolute budget is exceeded.
 //
 //	go run ./cmd/benchcmp -old BENCH_characterize.json -new BENCH_fresh.json \
 //	    -metric patterns/sec -max-regress 0.25
@@ -10,15 +11,26 @@
 // benchmark against the -scale-base one within the NEW file; it only makes
 // sense on multi-core runners, so it is off by default and enabled
 // explicitly by the CI workflow.
+//
+// Absolute budgets gate the NEW run alone, independent of any baseline
+// drift: -max-p99 caps the p99-ns metric, -max-allocs caps allocs/op,
+// -min-qps floors qps. -budget-match restricts the budgets to records
+// whose name contains the substring, so the serve gate can hold the
+// unary and streaming planes to different ceilings in two invocations. A
+// budget that matches no record in the new run fails the gate — a typo
+// must not read as a pass.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+
+	"hdpower/internal/atomicio"
 )
 
 // record mirrors cmd/benchjson's output schema. NumCPU is 0 and Backend
@@ -43,6 +55,10 @@ func main() {
 		minSpeedup  = flag.Float64("min-speedup", 0, "minimum speedup-target/speedup-base ratio in the new run (0 disables); gates the bit-parallel backend's single-core advantage")
 		speedBase   = flag.String("speedup-base", "CharacterizeParallel/workers=1", "benchmark name substring of the speedup baseline (event backend)")
 		speedTarget = flag.String("speedup-target", "CharacterizeBitParallel/workers=1", "benchmark name substring of the speedup target (bit-parallel backend)")
+		maxP99      = flag.Float64("max-p99", 0, "absolute p99-ns budget for matching new-run records (0 disables)")
+		maxAllocs   = flag.Float64("max-allocs", -1, "absolute allocs/op ceiling for matching new-run records (negative disables)")
+		minQPS      = flag.Float64("min-qps", 0, "absolute qps floor for matching new-run records (0 disables)")
+		budgetMatch = flag.String("budget-match", "", "restrict the absolute budgets to new-run records whose name contains this substring")
 	)
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
@@ -50,7 +66,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	failures, err := run(os.Stdout, *oldPath, *newPath, *metric, *maxRegress,
+	var budgets []budgetGate
+	if *maxP99 > 0 {
+		budgets = append(budgets, budgetGate{metric: "p99-ns", limit: *maxP99, match: *budgetMatch})
+	}
+	if *maxAllocs >= 0 {
+		budgets = append(budgets, budgetGate{metric: "allocs/op", limit: *maxAllocs, match: *budgetMatch})
+	}
+	if *minQPS > 0 {
+		budgets = append(budgets, budgetGate{metric: "qps", limit: *minQPS, floor: true, match: *budgetMatch})
+	}
+	failures, err := run(os.Stdout, *oldPath, *newPath, *metric, *maxRegress, budgets,
 		ratioGate{floor: *minScale, base: *scaleBase, target: *scaleTarget, label: "scaling"},
 		ratioGate{floor: *minSpeedup, base: *speedBase, target: *speedTarget, label: "speedup"})
 	if err != nil {
@@ -70,9 +96,13 @@ func main() {
 // schema — committed baselines can long outlive the tool that wrote them —
 // are skipped with a note instead of failing the whole comparison; only a
 // file with no usable records at all is an error.
+//
+// Files written by cmd/hdload carry atomicio's checksum trailer;
+// atomicio.ReadFile strips and verifies it, and passes trailer-less files
+// (benchjson stdout redirects) through untouched.
 func load(path string) (recs []record, notes []string, err error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
+	data, err := atomicio.ReadFile(path)
+	if err != nil && !errors.Is(err, atomicio.ErrNoChecksum) {
 		return nil, nil, err
 	}
 	var raws []json.RawMessage
@@ -104,7 +134,7 @@ func load(path string) (recs []record, notes []string, err error) {
 // run performs the comparison and returns human-readable failures.
 // I/O problems and malformed inputs come back as err (exit 2, not a
 // regression verdict).
-func run(out io.Writer, oldPath, newPath, metric string, maxRegress float64, gates ...ratioGate) ([]string, error) {
+func run(out io.Writer, oldPath, newPath, metric string, maxRegress float64, budgets []budgetGate, gates ...ratioGate) ([]string, error) {
 	oldRecs, notes, err := load(oldPath)
 	if err != nil {
 		return nil, err
@@ -128,7 +158,56 @@ func run(out io.Writer, oldPath, newPath, metric string, maxRegress float64, gat
 			failures = append(failures, checkRatio(out, newRecs, metric, g)...)
 		}
 	}
+	for _, b := range budgets {
+		failures = append(failures, checkBudget(out, newRecs, b)...)
+	}
 	return failures, nil
+}
+
+// budgetGate is an absolute bound on one metric of the new run: a ceiling
+// by default, a floor when floor is set. match restricts it to records
+// whose name contains the substring ("" = every record with the metric).
+type budgetGate struct {
+	metric string
+	limit  float64
+	floor  bool
+	match  string
+}
+
+// checkBudget enforces one absolute budget over the new run. No matching
+// record is itself a failure: a gate that silently checked nothing would
+// pass forever.
+func checkBudget(out io.Writer, recs []record, b budgetGate) []string {
+	kind := "ceiling"
+	if b.floor {
+		kind = "floor"
+	}
+	var failures []string
+	checked := 0
+	for _, r := range recs {
+		if b.match != "" && !strings.Contains(r.Name, b.match) {
+			continue
+		}
+		v, ok := r.Metrics[b.metric]
+		if !ok {
+			continue
+		}
+		checked++
+		fmt.Fprintf(out, "budget %s: %s = %g (%s %g)\n", b.metric, r.Name, v, kind, b.limit)
+		if b.floor && v < b.limit {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %s = %g below floor %g", r.Name, b.metric, v, b.limit))
+		}
+		if !b.floor && v > b.limit {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %s = %g over budget %g", r.Name, b.metric, v, b.limit))
+		}
+	}
+	if checked == 0 {
+		return []string{fmt.Sprintf(
+			"budget %s (match %q): no record in the new run carries the metric", b.metric, b.match)}
+	}
+	return failures
 }
 
 // hostCPUs returns the CPU count stamped in a record set (0 if absent).

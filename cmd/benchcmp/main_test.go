@@ -2,6 +2,8 @@ package main
 
 import (
 	"io"
+
+	"hdpower/internal/atomicio"
 	"os"
 	"path/filepath"
 	"strings"
@@ -71,7 +73,7 @@ func TestRunEndToEnd(t *testing.T) {
 	newPath := filepath.Join(dir, "new.json")
 	os.WriteFile(oldPath, []byte(`[{"name":"B/workers=1","iterations":2,"metrics":{"patterns/sec":1000}}]`), 0o644)
 	os.WriteFile(newPath, []byte(`[{"name":"B/workers=1","iterations":2,"metrics":{"patterns/sec":1100}}]`), 0o644)
-	fails, err := run(io.Discard, oldPath, newPath, "patterns/sec", 0.25)
+	fails, err := run(io.Discard, oldPath, newPath, "patterns/sec", 0.25, nil)
 	if err != nil || len(fails) != 0 {
 		t.Fatalf("run: %v %v", fails, err)
 	}
@@ -79,10 +81,10 @@ func TestRunEndToEnd(t *testing.T) {
 	// Empty and malformed inputs are tool errors, not verdicts.
 	empty := filepath.Join(dir, "empty.json")
 	os.WriteFile(empty, []byte(`[]`), 0o644)
-	if _, err := run(io.Discard, oldPath, empty, "patterns/sec", 0.25); err == nil {
+	if _, err := run(io.Discard, oldPath, empty, "patterns/sec", 0.25, nil); err == nil {
 		t.Fatal("empty new file must error")
 	}
-	if _, err := run(io.Discard, filepath.Join(dir, "nope.json"), newPath, "patterns/sec", 0.25); err == nil {
+	if _, err := run(io.Discard, filepath.Join(dir, "nope.json"), newPath, "patterns/sec", 0.25, nil); err == nil {
 		t.Fatal("missing old file must error")
 	}
 }
@@ -111,7 +113,7 @@ func TestOlderSchemaBaseline(t *testing.T) {
 	}
 
 	var out strings.Builder
-	fails, err := run(&out, oldPath, newPath, "patterns/sec", 0.25)
+	fails, err := run(&out, oldPath, newPath, "patterns/sec", 0.25, nil)
 	if err != nil {
 		t.Fatalf("older-schema baseline must not error: %v", err)
 	}
@@ -127,7 +129,7 @@ func TestOlderSchemaBaseline(t *testing.T) {
 	if err := os.WriteFile(allBad, []byte(`[{"iterations":2}]`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := run(io.Discard, allBad, newPath, "patterns/sec", 0.25); err == nil ||
+	if _, err := run(io.Discard, allBad, newPath, "patterns/sec", 0.25, nil); err == nil ||
 		!strings.Contains(err.Error(), "no usable benchmark records") {
 		t.Fatalf("all-bad baseline: %v", err)
 	}
@@ -175,5 +177,96 @@ func TestSpeedupGate(t *testing.T) {
 	fails := checkRatio(io.Discard, recs, "patterns/sec", gate)
 	if len(fails) != 1 || !strings.Contains(fails[0], "speedup") {
 		t.Fatalf("3.1x under a 5x floor must fail: %v", fails)
+	}
+}
+
+// serveRec fabricates an hdload-shaped record for the budget tests.
+func serveRec(name string, p99, allocs, qps float64) record {
+	return record{Name: name, Iterations: 100, Backend: "serve",
+		Metrics: map[string]float64{"p50-ns": p99 / 2, "p99-ns": p99, "allocs/op": allocs, "qps": qps}}
+}
+
+// TestBudgetGates drives the absolute-budget checks the serve gate arms:
+// a p99 ceiling, an allocs/op ceiling and a qps floor over the new run.
+func TestBudgetGates(t *testing.T) {
+	recs := []record{
+		serveRec("ServeEstimate/unary/mix=mixed/conc=4", 2e6, 80, 5000),
+		serveRec("ServeEstimate/stream/mix=mixed/conc=4", 8e6, 2, 60000),
+	}
+	// Within budget: nothing fails.
+	for _, b := range []budgetGate{
+		{metric: "p99-ns", limit: 10e6},
+		{metric: "allocs/op", limit: 100},
+		{metric: "qps", limit: 1000, floor: true},
+	} {
+		if fails := checkBudget(io.Discard, recs, b); len(fails) != 0 {
+			t.Errorf("budget %+v: unexpected failures %v", b, fails)
+		}
+	}
+	// Ceiling breach: the unary record's p99 is over.
+	fails := checkBudget(io.Discard, recs, budgetGate{metric: "p99-ns", limit: 1e6})
+	if len(fails) != 2 || !strings.Contains(fails[0], "over budget") {
+		t.Fatalf("p99 ceiling: %v", fails)
+	}
+	// Floor breach only where matched.
+	fails = checkBudget(io.Discard, recs, budgetGate{metric: "qps", limit: 10000, floor: true, match: "unary"})
+	if len(fails) != 1 || !strings.Contains(fails[0], "below floor") {
+		t.Fatalf("qps floor: %v", fails)
+	}
+	// The match filter keeps the passing stream record out of a strict
+	// unary allocs ceiling and vice versa.
+	if fails := checkBudget(io.Discard, recs, budgetGate{metric: "allocs/op", limit: 5, match: "stream"}); len(fails) != 0 {
+		t.Fatalf("stream allocs within its own ceiling: %v", fails)
+	}
+	// A zero ceiling is meaningful (and here violated).
+	if fails := checkBudget(io.Discard, recs, budgetGate{metric: "allocs/op", limit: 0, match: "stream"}); len(fails) != 1 {
+		t.Fatalf("zero ceiling must gate: %v", fails)
+	}
+	// A budget that matches nothing must fail, not silently pass.
+	fails = checkBudget(io.Discard, recs, budgetGate{metric: "p99-ns", limit: 1e9, match: "no-such-record"})
+	if len(fails) != 1 || !strings.Contains(fails[0], "no record") {
+		t.Fatalf("unmatched budget: %v", fails)
+	}
+	fails = checkBudget(io.Discard, recs, budgetGate{metric: "patterns/sec", limit: 1, floor: true})
+	if len(fails) != 1 || !strings.Contains(fails[0], "no record") {
+		t.Fatalf("absent metric: %v", fails)
+	}
+}
+
+// TestRunWithBudgets wires budgets through run(): baseline comparison and
+// absolute budgets fail independently.
+func TestRunWithBudgets(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	body := `[{"name":"ServeEstimate/unary","iterations":5,"metrics":{"qps":5000,"p99-ns":2000000}}]`
+	os.WriteFile(oldPath, []byte(body), 0o644)
+	os.WriteFile(newPath, []byte(body), 0o644)
+	fails, err := run(io.Discard, oldPath, newPath, "qps", 0.25,
+		[]budgetGate{{metric: "p99-ns", limit: 1e6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fails) != 1 || !strings.Contains(fails[0], "over budget") {
+		t.Fatalf("budget must fail through run: %v", fails)
+	}
+}
+
+// TestLoadChecksummedFile: hdload writes its JSON through atomicio, which
+// appends a checksum trailer; load must verify and strip it, and still
+// accept trailer-less benchjson files.
+func TestLoadChecksummedFile(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "BENCH_serve.json")
+	body := []byte(`[{"name":"ServeEstimate/unary","iterations":5,"metrics":{"qps":5000}}]` + "\n")
+	if err := atomicio.WriteFile(p, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := load(p)
+	if err != nil {
+		t.Fatalf("checksummed file: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Name != "ServeEstimate/unary" {
+		t.Fatalf("recs = %+v", recs)
 	}
 }

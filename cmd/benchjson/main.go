@@ -29,6 +29,12 @@ type record struct {
 	// scaling ratios across hosts with different core counts is
 	// meaningless, and this makes the mismatch visible.
 	NumCPU int `json:"num_cpu"`
+	// GOMAXPROCS is the scheduler width the benchmark ran at, parsed from
+	// the "-N" suffix the testing package appends to every benchmark name.
+	// It can differ from NumCPU (GOMAXPROCS env var, -cpu flag), and
+	// allocs/op or ns/op comparisons across different widths mislead the
+	// same way cross-host ones do. 0 when the name carries no suffix.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
 	// Backend names the simulation engine the benchmark exercised,
 	// inferred from the benchmark name ("bitparallel" for the BitParallel
 	// benchmark family, "event" for the scalar characterization and
@@ -73,6 +79,7 @@ func convert(in io.Reader, out io.Writer) error {
 		}
 		if ok {
 			rec.NumCPU = runtime.NumCPU()
+			rec.GOMAXPROCS = nameProcs(rec.Name)
 			rec.Backend = inferBackend(rec.Name)
 			recs = append(recs, rec)
 		}
@@ -88,7 +95,24 @@ func convert(in io.Reader, out io.Writer) error {
 	return enc.Encode(recs)
 }
 
-// parseLine handles the testing package's benchmark result format:
+// nameProcs extracts the GOMAXPROCS suffix from a benchmark name
+// ("BenchmarkX/sub-8" -> 8). The testing package only appends it when
+// GOMAXPROCS > 1; 0 means no suffix.
+func nameProcs(name string) int {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return 0
+	}
+	return n
+}
+
+// parseLine handles the testing package's benchmark result format,
+// including the -benchmem columns (B/op, allocs/op), which arrive as
+// ordinary value/unit pairs:
 //
 //	BenchmarkName/sub-8   5   123 ns/op   456 patterns/sec   ...
 //

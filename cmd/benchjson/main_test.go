@@ -106,3 +106,65 @@ func TestBackendStamping(t *testing.T) {
 		t.Errorf("backend not stamped:\n%s", out.String())
 	}
 }
+
+// TestConvertBenchmem: the -benchmem columns (B/op, allocs/op) arrive as
+// ordinary value/unit pairs and land in the metrics map, and the
+// GOMAXPROCS suffix on the name is stamped as its own field.
+func TestConvertBenchmem(t *testing.T) {
+	in := "BenchmarkEstimateFast/hd-8    \t  500000\t      2134 ns/op\t       0 B/op\t       0 allocs/op\n"
+	var out bytes.Buffer
+	if err := convert(strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	var recs []record
+	if err := json.Unmarshal(out.Bytes(), &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	r := recs[0]
+	if r.Metrics["ns/op"] != 2134 || r.Metrics["B/op"] != 0 || r.Metrics["allocs/op"] != 0 {
+		t.Fatalf("metrics = %+v", r.Metrics)
+	}
+	if r.GOMAXPROCS != 8 {
+		t.Fatalf("gomaxprocs = %d, want 8", r.GOMAXPROCS)
+	}
+	if !strings.Contains(out.String(), `"gomaxprocs": 8`) {
+		t.Errorf("gomaxprocs not serialized:\n%s", out.String())
+	}
+}
+
+// TestNameProcs covers suffix parsing, including names without a suffix
+// and dashes inside the benchmark name itself.
+func TestNameProcs(t *testing.T) {
+	for name, want := range map[string]int{
+		"BenchmarkX-8":               8,
+		"BenchmarkX/sub=1-16":        16,
+		"BenchmarkX":                 0,
+		"BenchmarkRipple-adder":      0, // trailing token not a number
+		"BenchmarkX-0":               0, // zero procs is no stamp
+		"BenchmarkServe/mix=mixed-4": 4,
+	} {
+		if got := nameProcs(name); got != want {
+			t.Errorf("nameProcs(%q) = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestConvertMalformedBenchmem extends the malformed-input coverage to
+// the -benchmem shape: truncated pairs and garbage values in the memory
+// columns are loud errors, not silently dropped metrics.
+func TestConvertMalformedBenchmem(t *testing.T) {
+	cases := []string{
+		"BenchmarkX-8\t5\t1 ns/op\t0 B/op\t7\n",           // orphan allocs value
+		"BenchmarkX-8\t5\t1 ns/op\tzero B/op\n",           // garbage B/op value
+		"BenchmarkX-8\t5\t1 ns/op\t0 B/op\tx allocs/op\n", // garbage allocs value
+	}
+	for _, in := range cases {
+		var out bytes.Buffer
+		if err := convert(strings.NewReader(in), &out); err == nil {
+			t.Errorf("input %q: expected error, wrote %q", in, out.String())
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package lut flattens fitted Hd macro-models (core.Model) into
+// contiguous coefficient arrays for the serving hot path.
+//
+// A core.Model answers P(i) by walking the coefficient structs at call
+// time — interpolating unobserved classes, falling back from enhanced to
+// basic coefficients — which is fine for a characterization CLI but not
+// for an endpoint fielding millions of estimates: every call repeats the
+// same branches and pointer chases. A lut.Table performs that walk once,
+// at model-load time, and stores the fully resolved answers in flat
+// float64 slices: P(i) becomes one bounds check and one indexed load, and
+// PEnhanced(i, z) one offset computation plus one load. Results are
+// bit-identical to the Model methods by construction — each slot is
+// literally filled by calling them.
+//
+// Tables are immutable after New, so they can be published behind an
+// atomic pointer and read concurrently without locks (the RCU pattern
+// internal/serve uses for its model cache).
+package lut
+
+import (
+	"fmt"
+
+	"hdpower/internal/core"
+)
+
+// Table is one fitted model flattened for estimation. All fields are
+// read-only after New; a Table is safe for concurrent use.
+type Table struct {
+	// Module names the characterized module the table was built from.
+	Module string
+	// InputBits is m, the total number of module input bits.
+	InputBits int
+
+	// basic[i] is the fully resolved basic coefficient for Hamming-distance
+	// i in 0..m: interpolation of unobserved classes has already happened,
+	// so lookups never branch on Count.
+	basic []float64
+
+	// Enhanced-model storage, nil when the model has no enhanced table.
+	// Row i-1 (Hd class i) occupies enhVals[enhOff[i-1] : enhOff[i-1]+enhNB[i-1]],
+	// one slot per stable-zero bucket, each already resolved through the
+	// enhanced→basic fallback.
+	enhVals []float64
+	enhOff  []int32
+	enhNB   []int32
+}
+
+// New flattens a validated model. It returns an error instead of
+// panicking because serve feeds it models deserialized from the durable
+// library.
+func New(m *core.Model) (*Table, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("lut: %w", err)
+	}
+	t := &Table{
+		Module:    m.Module,
+		InputBits: m.InputBits,
+		basic:     make([]float64, m.InputBits+1),
+	}
+	for i := 0; i <= m.InputBits; i++ {
+		t.basic[i] = m.P(i)
+	}
+	if m.HasEnhanced() {
+		t.enhOff = make([]int32, m.InputBits)
+		t.enhNB = make([]int32, m.InputBits)
+		total := 0
+		for i := 1; i <= m.InputBits; i++ {
+			t.enhOff[i-1] = int32(total)
+			t.enhNB[i-1] = int32(m.NumZBuckets(i))
+			total += m.NumZBuckets(i)
+		}
+		t.enhVals = make([]float64, total)
+		for i := 1; i <= m.InputBits; i++ {
+			off := t.enhOff[i-1]
+			for zb := 0; zb < int(t.enhNB[i-1]); zb++ {
+				c := m.Enhanced[i-1][zb]
+				if c.Count > 0 {
+					t.enhVals[off+int32(zb)] = c.P
+				} else {
+					// Same fallback PEnhanced takes for an unobserved class.
+					t.enhVals[off+int32(zb)] = t.basic[i]
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// MustNew is New for models known valid (tests, fixtures).
+func MustNew(m *core.Model) *Table {
+	t, err := New(m)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// HasEnhanced reports whether enhanced coefficients are available.
+func (t *Table) HasEnhanced() bool { return t.enhVals != nil }
+
+// P returns the basic coefficient for Hamming-distance i, bit-identical
+// to core.Model.P. It panics on an out-of-range class, like the Model
+// method; serving handlers validate ranges before calling.
+func (t *Table) P(i int) float64 {
+	if i < 0 || i > t.InputBits {
+		panic(fmt.Sprintf("lut: Hd %d out of range [0,%d]", i, t.InputBits))
+	}
+	return t.basic[i]
+}
+
+// PEnhanced returns the enhanced coefficient for Hd i and exact
+// stable-zero count z, bit-identical to core.Model.PEnhanced (including
+// the fallback to the basic coefficient for unobserved classes and
+// models without an enhanced table).
+func (t *Table) PEnhanced(i, z int) float64 {
+	if i < 0 || i > t.InputBits {
+		panic(fmt.Sprintf("lut: Hd %d out of range [0,%d]", i, t.InputBits))
+	}
+	if z < 0 || z > t.InputBits-i {
+		panic(fmt.Sprintf("lut: stable-zero count %d out of range [0,%d] for Hd %d",
+			z, t.InputBits-i, i))
+	}
+	if i == 0 || t.enhVals == nil {
+		return t.basic[i]
+	}
+	// Same bucket arithmetic as core.Model.ZBucket, inlined so the hot
+	// path stays a handful of integer ops on table-local state.
+	full := t.InputBits - i + 1
+	nb := int(t.enhNB[i-1])
+	zb := z
+	if nb != full {
+		zb = z * nb / full
+		if zb >= nb {
+			zb = nb - 1
+		}
+	}
+	return t.enhVals[t.enhOff[i-1]+int32(zb)]
+}
+
+// EstimateBasicInto writes the per-cycle charges for hds into dst
+// (len(dst) must equal len(hds)) and returns the total. It allocates
+// nothing — the zero-allocation counterpart of core.Model.EstimateBasic
+// for pooled serving buffers.
+func (t *Table) EstimateBasicInto(dst []float64, hds []int) float64 {
+	if len(dst) != len(hds) {
+		panic(fmt.Sprintf("lut: dst length %d != hds length %d", len(dst), len(hds)))
+	}
+	var total float64
+	for j, i := range hds {
+		q := t.P(i)
+		dst[j] = q
+		total += q
+	}
+	return total
+}
+
+// EstimateEnhancedInto writes the per-cycle charges for (Hd, stable-zero)
+// pairs into dst and returns the total, allocation-free.
+func (t *Table) EstimateEnhancedInto(dst []float64, hds, stableZeros []int) float64 {
+	if len(hds) != len(stableZeros) {
+		panic(fmt.Sprintf("lut: series length mismatch %d vs %d", len(hds), len(stableZeros)))
+	}
+	if len(dst) != len(hds) {
+		panic(fmt.Sprintf("lut: dst length %d != hds length %d", len(dst), len(hds)))
+	}
+	var total float64
+	for j := range hds {
+		q := t.PEnhanced(hds[j], stableZeros[j])
+		dst[j] = q
+		total += q
+	}
+	return total
+}
+
+// AvgFromDist returns the expected per-cycle charge under an Hd
+// distribution, bit-identical to core.Model.AvgFromDist.
+func (t *Table) AvgFromDist(dist []float64) (float64, error) {
+	if len(dist) != t.InputBits+1 {
+		return 0, fmt.Errorf("lut: distribution has %d entries, want %d",
+			len(dist), t.InputBits+1)
+	}
+	var s float64
+	for i, p := range dist {
+		s += p * t.basic[i]
+	}
+	return s, nil
+}

@@ -1,0 +1,243 @@
+package lut
+
+import (
+	"math"
+	"testing"
+
+	"hdpower/internal/core"
+	"hdpower/internal/dwlib"
+	"hdpower/internal/power"
+	"hdpower/internal/sim"
+)
+
+// sparseModel builds a model with deliberate coefficient gaps so the
+// flattening has to reproduce P's interpolation and PEnhanced's fallback.
+func sparseModel(m int, enhanced bool) *core.Model {
+	model := &core.Model{Module: "sparse", InputBits: m, Basic: make([]core.Coef, m)}
+	for i := 1; i <= m; i++ {
+		if i%2 == 1 { // observe odd classes only
+			model.Basic[i-1] = core.Coef{P: float64(i) * 1.5, Epsilon: 0.1, Count: 7}
+		}
+	}
+	if enhanced {
+		model.Enhanced = make([][]core.Coef, m)
+		for i := 1; i <= m; i++ {
+			row := make([]core.Coef, model.NumZBuckets(i))
+			for zb := range row {
+				if (i+zb)%3 != 0 { // leave some classes unobserved
+					row[zb] = core.Coef{P: float64(i) + float64(zb)/8, Count: 3}
+				}
+			}
+			model.Enhanced[i-1] = row
+		}
+	}
+	return model
+}
+
+// assertTableMatchesModel checks bit-identical agreement over every
+// (Hd, stable-zeros) class plus the batch and distribution entry points.
+func assertTableMatchesModel(t *testing.T, model *core.Model) {
+	t.Helper()
+	tab, err := New(model)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if tab.HasEnhanced() != model.HasEnhanced() {
+		t.Fatalf("HasEnhanced: table %v, model %v", tab.HasEnhanced(), model.HasEnhanced())
+	}
+	m := model.InputBits
+	for i := 0; i <= m; i++ {
+		if got, want := tab.P(i), model.P(i); got != want {
+			t.Fatalf("P(%d): table %v != model %v", i, got, want)
+		}
+		for z := 0; z <= m-i; z++ {
+			if got, want := tab.PEnhanced(i, z), model.PEnhanced(i, z); got != want {
+				t.Fatalf("PEnhanced(%d,%d): table %v != model %v", i, z, got, want)
+			}
+		}
+	}
+
+	hds := make([]int, 0, m+1)
+	zeros := make([]int, 0, m+1)
+	for i := 0; i <= m; i++ {
+		hds = append(hds, i)
+		zeros = append(zeros, (m-i)/2)
+	}
+	dst := make([]float64, len(hds))
+	total := tab.EstimateBasicInto(dst, hds)
+	want := model.EstimateBasic(hds)
+	var wantTotal float64
+	for j := range want {
+		if dst[j] != want[j] {
+			t.Fatalf("EstimateBasicInto[%d]: %v != %v", j, dst[j], want[j])
+		}
+		wantTotal += want[j]
+	}
+	if total != wantTotal {
+		t.Fatalf("EstimateBasicInto total %v != %v", total, wantTotal)
+	}
+
+	totalEnh := tab.EstimateEnhancedInto(dst, hds, zeros)
+	wantEnh, err := model.EstimateEnhanced(hds, zeros)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTotal = 0
+	for j := range wantEnh {
+		if dst[j] != wantEnh[j] {
+			t.Fatalf("EstimateEnhancedInto[%d]: %v != %v", j, dst[j], wantEnh[j])
+		}
+		wantTotal += wantEnh[j]
+	}
+	if totalEnh != wantTotal {
+		t.Fatalf("EstimateEnhancedInto total %v != %v", totalEnh, wantTotal)
+	}
+
+	dist := make([]float64, m+1)
+	for i := range dist {
+		dist[i] = 1 / float64(m+1)
+	}
+	gotAvg, err := tab.AvgFromDist(dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAvg, err := model.AvgFromDist(dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotAvg != wantAvg {
+		t.Fatalf("AvgFromDist: table %v != model %v", gotAvg, wantAvg)
+	}
+}
+
+func TestTableMatchesSparseModel(t *testing.T) {
+	for _, enhanced := range []bool{false, true} {
+		assertTableMatchesModel(t, sparseModel(9, enhanced))
+	}
+}
+
+func TestTableMatchesClusteredModel(t *testing.T) {
+	model := sparseModel(10, true)
+	model.ZClusters = 3
+	// Rebuild rows to the clustered bucket counts.
+	for i := 1; i <= 10; i++ {
+		row := make([]core.Coef, model.NumZBuckets(i))
+		for zb := range row {
+			if zb%2 == 0 {
+				row[zb] = core.Coef{P: float64(i*10 + zb), Count: 2}
+			}
+		}
+		model.Enhanced[i-1] = row
+	}
+	assertTableMatchesModel(t, model)
+}
+
+// TestTableMatchesCharacterizedCatalog pins the equivalence on real
+// fitted models: every dwlib catalog module is characterized (enhanced,
+// clustered) at a small width and the flattened table must agree
+// bit-for-bit with the struct-walking Model on every class. This is the
+// whole-library guarantee the serving fast path rests on.
+func TestTableMatchesCharacterizedCatalog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterizes the whole catalog")
+	}
+	for _, name := range dwlib.Names() {
+		mod, err := dwlib.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		width := mod.MinWidth
+		if width < 4 {
+			width = 4
+		}
+		nl := mod.Build(width)
+		if err := nl.Finalize(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		meter, err := power.NewMeter(nl, sim.EventDriven)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		model, err := core.Characterize(meter, name, core.CharacterizeOptions{
+			Patterns: 400, Seed: 1, Enhanced: true, ZClusters: 4, Workers: 1,
+			Backend: core.BackendBitParallel,
+		})
+		if err != nil {
+			t.Fatalf("characterize %s: %v", name, err)
+		}
+		assertTableMatchesModel(t, model)
+	}
+}
+
+func TestNewRejectsInvalidModel(t *testing.T) {
+	if _, err := New(&core.Model{Module: "bad", InputBits: 0}); err == nil {
+		t.Fatal("New accepted a model with 0 input bits")
+	}
+	if _, err := New(&core.Model{Module: "bad", InputBits: 4, Basic: make([]core.Coef, 2)}); err == nil {
+		t.Fatal("New accepted a model with a short basic table")
+	}
+}
+
+func TestMustNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic on an invalid model")
+		}
+	}()
+	MustNew(&core.Model{Module: "bad", InputBits: 0})
+}
+
+func TestPanicsOnOutOfRange(t *testing.T) {
+	tab := MustNew(sparseModel(4, true))
+	for _, fn := range []func(){
+		func() { tab.P(-1) },
+		func() { tab.P(5) },
+		func() { tab.PEnhanced(5, 0) },
+		func() { tab.PEnhanced(2, 3) },
+		func() { tab.PEnhanced(2, -1) },
+		func() { tab.EstimateBasicInto(make([]float64, 1), []int{1, 2}) },
+		func() { tab.EstimateEnhancedInto(make([]float64, 2), []int{1, 2}, []int{0}) },
+		func() { tab.EstimateEnhancedInto(make([]float64, 1), []int{1, 2}, []int{0, 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAvgFromDistLengthMismatch(t *testing.T) {
+	tab := MustNew(sparseModel(4, false))
+	if _, err := tab.AvgFromDist(make([]float64, 3)); err == nil {
+		t.Fatal("AvgFromDist accepted a wrong-length distribution")
+	}
+}
+
+// TestEstimateIntoAllocs pins the zero-allocation contract of the batch
+// entry points the stream endpoint leans on.
+func TestEstimateIntoAllocs(t *testing.T) {
+	tab := MustNew(sparseModel(12, true))
+	hds := []int{1, 5, 9, 12, 0, 3}
+	zeros := []int{2, 4, 1, 0, 6, 5}
+	dst := make([]float64, len(hds))
+	allocs := testing.AllocsPerRun(200, func() {
+		tab.EstimateBasicInto(dst, hds)
+		tab.EstimateEnhancedInto(dst, hds, zeros)
+	})
+	if allocs != 0 {
+		t.Fatalf("EstimateInto allocated %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestTableValuesFinite(t *testing.T) {
+	tab := MustNew(sparseModel(8, true))
+	for i := 0; i <= 8; i++ {
+		if v := tab.P(i); math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("P(%d) = %v", i, v)
+		}
+	}
+}

@@ -1,0 +1,658 @@
+package serve
+
+// fastpath.go is the production-QPS estimate data plane: a hand-rolled
+// decoder/encoder for the hot estimate structs and a lock-free table
+// lookup, so a steady-state /v1/estimate (and each /v1/estimate/stream
+// line) runs with zero heap allocations — no encoding/json reflection,
+// no per-request model-cache lock.
+//
+// The paper's economics only pay off if estimation stays a table lookup
+// all the way to the wire: fitted models are flattened into lut.Table
+// coefficient arrays at build-complete time and published behind an
+// atomic pointer (RCU — see models.go), request scratch comes from
+// sync.Pools, and the JSON for the hot shapes is parsed and rendered by
+// hand. Anything unusual — escaped strings, unknown fields, non-integer
+// numbers, uncached models — falls back to the legacy encoding/json path,
+// which stays bit-identical in behavior; the fast path only ever serves
+// requests it can answer exactly as the slow path would.
+
+import (
+	"errors"
+	"io"
+	"math"
+	"math/bits"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"hdpower/internal/dwlib"
+	"hdpower/internal/lut"
+)
+
+// Values of the hdserve_estimate_served_total path label.
+const (
+	servedLUT    = "lut"
+	servedLegacy = "legacy"
+)
+
+// moduleIntern maps catalog module names to their canonical string, so a
+// name parsed as request-body bytes can key the LUT snapshot without
+// allocating (map[string]x lookups with a string([]byte) index compile to
+// an allocation-free lookup; composite keys do not).
+var moduleIntern = func() map[string]string {
+	m := make(map[string]string)
+	for _, name := range dwlib.Names() {
+		m[name] = name
+	}
+	return m
+}()
+
+// lutKey identifies one published table: the same triple BuildSpec.Key
+// renders, kept as a comparable struct so lookups need no formatting.
+type lutKey struct {
+	module string
+	width  int
+	seed   int64
+}
+
+// lutSet is one immutable RCU snapshot of every ready model's flattened
+// table. Readers load the current snapshot and index the map — the map is
+// never mutated after publication, so concurrent reads are safe without
+// locks.
+type lutSet struct {
+	tables map[lutKey]*lut.Table
+}
+
+var emptyLutSet = &lutSet{tables: map[lutKey]*lut.Table{}}
+
+// estScratch is the pooled per-request working set of the fast path:
+// request body, decoded series, computed estimates, and the rendered
+// response. Steady-state requests allocate nothing; the pool warms to the
+// live request concurrency.
+type estScratch struct {
+	body  []byte
+	hd    []int
+	zeros []int
+	words []uint64
+	est   []float64
+	out   []byte
+}
+
+// scratch slices beyond these caps are dropped on release instead of
+// pooled, so one huge batch cannot pin its buffers forever.
+const (
+	maxPooledBytes   = 1 << 16
+	maxPooledEntries = 1 << 13
+)
+
+var scratchPool = sync.Pool{New: func() any {
+	return &estScratch{
+		body:  make([]byte, 0, 4096),
+		hd:    make([]int, 0, 256),
+		zeros: make([]int, 0, 256),
+		words: make([]uint64, 0, 256),
+		est:   make([]float64, 0, 256),
+		out:   make([]byte, 0, 4096),
+	}
+}}
+
+func getScratch() *estScratch { return scratchPool.Get().(*estScratch) }
+
+func putScratch(sc *estScratch) {
+	if cap(sc.body) > maxPooledBytes || cap(sc.out) > maxPooledBytes ||
+		cap(sc.hd) > maxPooledEntries || cap(sc.zeros) > maxPooledEntries ||
+		cap(sc.words) > maxPooledEntries || cap(sc.est) > maxPooledEntries {
+		return
+	}
+	scratchPool.Put(sc)
+}
+
+// fastReq is the decoded hot shape of an estimate request. Slices alias
+// the owning scratch; module aliases the request body.
+type fastReq struct {
+	module   []byte
+	width    int
+	seed     int64
+	hasModel bool
+	hd       []int
+	zeros    []int
+	words    []uint64
+}
+
+// jsParser is a minimal JSON scanner for the hot request shapes. It
+// accepts a strict subset of JSON — no escaped strings, integer-only
+// numbers, known fields — and reports failure on anything else, at which
+// point the caller falls back to encoding/json.
+type jsParser struct {
+	b []byte
+	i int
+}
+
+func (p *jsParser) ws() {
+	for p.i < len(p.b) {
+		switch p.b[p.i] {
+		case ' ', '\t', '\r', '\n':
+			p.i++
+		default:
+			return
+		}
+	}
+}
+
+// eat consumes c if it is the next byte.
+func (p *jsParser) eat(c byte) bool {
+	if p.i < len(p.b) && p.b[p.i] == c {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// str parses a string without escapes and returns the raw bytes between
+// the quotes.
+func (p *jsParser) str() ([]byte, bool) {
+	if !p.eat('"') {
+		return nil, false
+	}
+	start := p.i
+	for p.i < len(p.b) {
+		switch p.b[p.i] {
+		case '\\':
+			return nil, false // escapes take the slow path
+		case '"':
+			s := p.b[start:p.i]
+			p.i++
+			return s, true
+		}
+		p.i++
+	}
+	return nil, false
+}
+
+// int64 parses an optionally signed integer literal. A fraction or
+// exponent fails the fast parse (the slow path reports the type error).
+func (p *jsParser) int64() (int64, bool) {
+	neg := p.eat('-')
+	u, ok := p.uint64()
+	if !ok {
+		return 0, false
+	}
+	if neg {
+		if u > 1<<63 {
+			return 0, false
+		}
+		return -int64(u), true
+	}
+	if u > math.MaxInt64 {
+		return 0, false
+	}
+	return int64(u), true
+}
+
+// uint64 parses an unsigned integer literal with overflow detection.
+func (p *jsParser) uint64() (uint64, bool) {
+	start := p.i
+	var v uint64
+	for p.i < len(p.b) {
+		c := p.b[p.i]
+		if c < '0' || c > '9' {
+			break
+		}
+		d := uint64(c - '0')
+		if v > (math.MaxUint64-d)/10 {
+			return 0, false
+		}
+		v = v*10 + d
+		p.i++
+	}
+	if p.i == start {
+		return 0, false
+	}
+	if p.i < len(p.b) {
+		switch p.b[p.i] {
+		case '.', 'e', 'E':
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+// intArray parses a JSON array of integers into dst (reusing its
+// capacity) and returns the filled slice.
+func (p *jsParser) intArray(dst []int) ([]int, bool) {
+	if !p.eat('[') {
+		return nil, false
+	}
+	p.ws()
+	if p.eat(']') {
+		return dst, true
+	}
+	for {
+		p.ws()
+		v, ok := p.int64()
+		if !ok || v > math.MaxInt32 || v < math.MinInt32 {
+			return nil, false
+		}
+		dst = append(dst, int(v))
+		p.ws()
+		if p.eat(',') {
+			continue
+		}
+		if p.eat(']') {
+			return dst, true
+		}
+		return nil, false
+	}
+}
+
+// uintArray parses a JSON array of unsigned integers into dst.
+func (p *jsParser) uintArray(dst []uint64) ([]uint64, bool) {
+	if !p.eat('[') {
+		return nil, false
+	}
+	p.ws()
+	if p.eat(']') {
+		return dst, true
+	}
+	for {
+		p.ws()
+		v, ok := p.uint64()
+		if !ok {
+			return nil, false
+		}
+		dst = append(dst, v)
+		p.ws()
+		if p.eat(',') {
+			continue
+		}
+		if p.eat(']') {
+			return dst, true
+		}
+		return nil, false
+	}
+}
+
+// model parses the inner BuildSpec object. Only the cache-key fields are
+// accepted; patterns/enhanced/z_clusters (or anything unknown) fall back
+// to the slow path, which owns their validation semantics.
+func (p *jsParser) model(req *fastReq) bool {
+	if !p.eat('{') {
+		return false
+	}
+	p.ws()
+	if p.eat('}') {
+		return true
+	}
+	for {
+		p.ws()
+		key, ok := p.str()
+		if !ok {
+			return false
+		}
+		p.ws()
+		if !p.eat(':') {
+			return false
+		}
+		p.ws()
+		switch string(key) {
+		case "module":
+			s, ok := p.str()
+			if !ok {
+				return false
+			}
+			req.module = s
+		case "width":
+			v, ok := p.int64()
+			if !ok || v < 0 || v > math.MaxInt32 {
+				return false
+			}
+			req.width = int(v)
+		case "seed":
+			v, ok := p.int64()
+			if !ok {
+				return false
+			}
+			req.seed = v
+		default:
+			return false
+		}
+		p.ws()
+		if p.eat(',') {
+			continue
+		}
+		if p.eat('}') {
+			return true
+		}
+		return false
+	}
+}
+
+// parseEstimateFast decodes one estimate request in the hot shape. ok is
+// false when the body needs the slow path; the scratch slices are
+// (re)used as backing storage either way.
+func parseEstimateFast(body []byte, sc *estScratch) (fastReq, bool) {
+	req := fastReq{}
+	sc.hd = sc.hd[:0]
+	sc.zeros = sc.zeros[:0]
+	sc.words = sc.words[:0]
+	p := jsParser{b: body}
+	p.ws()
+	if !p.eat('{') {
+		return req, false
+	}
+	p.ws()
+	if p.eat('}') {
+		p.ws()
+		return req, p.i == len(p.b)
+	}
+	for {
+		p.ws()
+		key, ok := p.str()
+		if !ok {
+			return req, false
+		}
+		p.ws()
+		if !p.eat(':') {
+			return req, false
+		}
+		p.ws()
+		switch string(key) {
+		case "model":
+			if !p.model(&req) {
+				return req, false
+			}
+			req.hasModel = true
+		case "hd":
+			sc.hd, ok = p.intArray(sc.hd)
+			if !ok {
+				return req, false
+			}
+			req.hd = sc.hd
+		case "stable_zeros":
+			sc.zeros, ok = p.intArray(sc.zeros)
+			if !ok {
+				return req, false
+			}
+			req.zeros = sc.zeros
+		case "words":
+			sc.words, ok = p.uintArray(sc.words)
+			if !ok {
+				return req, false
+			}
+			req.words = sc.words
+		default:
+			return req, false
+		}
+		p.ws()
+		if p.eat(',') {
+			continue
+		}
+		if p.eat('}') {
+			break
+		}
+		return req, false
+	}
+	p.ws()
+	return req, p.i == len(p.b)
+}
+
+// readBody drains the request body into the pooled scratch buffer,
+// growing it only when the body outruns the pooled capacity. Failures are
+// translated exactly as readJSON translates them: 413 for a body over the
+// MaxBytesReader cap, 400 for anything else.
+func readBody(w http.ResponseWriter, r *http.Request, sc *estScratch) bool {
+	sc.body = sc.body[:0]
+	for {
+		if len(sc.body) == cap(sc.body) {
+			sc.body = append(sc.body, 0)[:len(sc.body)]
+		}
+		n, err := r.Body.Read(sc.body[len(sc.body):cap(sc.body)])
+		sc.body = sc.body[:len(sc.body)+n]
+		if err == io.EOF {
+			return true
+		}
+		if err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					"request body exceeds %d bytes", tooLarge.Limit)
+			} else {
+				writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			}
+			return false
+		}
+	}
+}
+
+// growFloats returns dst resized to n entries, reallocating only when the
+// pooled capacity is too small.
+func growFloats(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	return dst[:n]
+}
+
+// estimateFastBytes serves one estimate request body entirely on the fast
+// path: hand-rolled parse, atomic LUT snapshot lookup, flat-table
+// evaluation, hand-rolled render into sc.out. ok is false — with nothing
+// written and no metrics counted — whenever any aspect of the request
+// leaves the hot shape (parse failure, unknown module, model not in the
+// snapshot, invalid series); the caller then re-runs the bytes through
+// the legacy path, which owns all error semantics. The unary endpoint
+// renders with indent=true to stay byte-identical to the legacy
+// json.Encoder output; the stream endpoint renders compact NDJSON lines.
+func (s *Server) estimateFastBytes(body []byte, sc *estScratch, indent bool) ([]byte, bool) {
+	req, ok := parseEstimateFast(body, sc)
+	if !ok || !req.hasModel {
+		return nil, false
+	}
+	module, ok := moduleIntern[string(req.module)]
+	if !ok {
+		return nil, false
+	}
+	t := s.cache.table(module, req.width, req.seed)
+	if t == nil {
+		return nil, false
+	}
+	m := t.InputBits
+
+	var enhanced bool
+	var total float64
+	switch {
+	case len(req.words) > 0 && len(req.hd) > 0:
+		return nil, false
+	case len(req.words) > 0:
+		if len(req.words) < 2 || len(req.words) > maxBatchCycles || m > 64 {
+			return nil, false
+		}
+		mask := wordMask(m)
+		for _, v := range req.words {
+			if v&^mask != 0 {
+				return nil, false
+			}
+		}
+		enhanced = t.HasEnhanced()
+		sc.est = growFloats(sc.est, len(req.words)-1)
+		total = estimateWords(t, sc.est, req.words, enhanced)
+	case len(req.hd) > 0:
+		if len(req.hd) > maxBatchCycles {
+			return nil, false
+		}
+		for _, hd := range req.hd {
+			if hd < 0 || hd > m {
+				return nil, false
+			}
+		}
+		sc.est = growFloats(sc.est, len(req.hd))
+		if len(req.zeros) > 0 {
+			if len(req.zeros) != len(req.hd) {
+				return nil, false
+			}
+			for i, z := range req.zeros {
+				if z < 0 || z > m-req.hd[i] {
+					return nil, false
+				}
+			}
+			total = t.EstimateEnhancedInto(sc.est, req.hd, req.zeros)
+			enhanced = t.HasEnhanced()
+		} else {
+			total = t.EstimateBasicInto(sc.est, req.hd)
+		}
+	default:
+		return nil, false
+	}
+	mean := 0.0
+	if len(sc.est) > 0 {
+		mean = total / float64(len(sc.est))
+	}
+	// Same accounting as the legacy path: an exact snapshot hit is a model
+	// cache hit, and cycle volume counts per estimate regardless of path.
+	s.met.cacheHits.Inc()
+	s.met.estCycles.Add(int64(len(sc.est)))
+	s.met.servedLUT.Inc()
+	sc.out = appendEstimateResponse(sc.out[:0], module, req.width, req.seed,
+		sc.est, enhanced, total, mean, "", indent)
+	return sc.out, true
+}
+
+// appendJSONFloat renders a float64 exactly the way encoding/json does
+// (shortest representation, 'e' form only for very small or very large
+// magnitudes, exponent digits unpadded), so fast-path and slow-path
+// responses carry byte-identical numbers.
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// appendKey appends a JSON object key and its colon, with the space
+// json.Encoder inserts in indented mode.
+func appendKey(out []byte, name string, indent bool) []byte {
+	out = append(out, '"')
+	out = append(out, name...)
+	if indent {
+		return append(out, `": `...)
+	}
+	return append(out, `":`...)
+}
+
+// appendEstimateResponse renders the estimateResponse hot shape (same
+// fields, same order as the struct's JSON tags) without reflection.
+// degraded/fallback are emitted only when fallback is non-empty, matching
+// the omitempty tags. With indent set the output is byte-identical to
+// writeJSON's json.Encoder with SetIndent("", "  ") — including the
+// trailing newline Encode appends — so fast-path and legacy unary
+// responses are indistinguishable on the wire; without it the result is
+// one compact line for the NDJSON stream.
+func appendEstimateResponse(out []byte, module string, width int, seed int64,
+	est []float64, enhanced bool, total, mean float64, fallback string, indent bool) []byte {
+	fieldSep := ","
+	if indent {
+		out = append(out, "{\n  "...)
+		fieldSep = ",\n  "
+	} else {
+		out = append(out, '{')
+	}
+	out = appendKey(out, "key", indent)
+	out = append(out, '"')
+	out = append(out, module...)
+	out = append(out, "/w"...)
+	out = strconv.AppendInt(out, int64(width), 10)
+	out = append(out, "/s"...)
+	out = strconv.AppendInt(out, seed, 10)
+	out = append(out, '"')
+	out = append(out, fieldSep...)
+	out = appendKey(out, "cycles", indent)
+	out = strconv.AppendInt(out, int64(len(est)), 10)
+	out = append(out, fieldSep...)
+	out = appendKey(out, "enhanced", indent)
+	out = strconv.AppendBool(out, enhanced)
+	out = append(out, fieldSep...)
+	out = appendKey(out, "estimates", indent)
+	switch {
+	case len(est) == 0:
+		out = append(out, "[]"...)
+	case indent:
+		out = append(out, "[\n    "...)
+		for i, q := range est {
+			if i > 0 {
+				out = append(out, ",\n    "...)
+			}
+			out = appendJSONFloat(out, q)
+		}
+		out = append(out, "\n  ]"...)
+	default:
+		out = append(out, '[')
+		for i, q := range est {
+			if i > 0 {
+				out = append(out, ',')
+			}
+			out = appendJSONFloat(out, q)
+		}
+		out = append(out, ']')
+	}
+	out = append(out, fieldSep...)
+	out = appendKey(out, "total", indent)
+	out = appendJSONFloat(out, total)
+	out = append(out, fieldSep...)
+	out = appendKey(out, "mean", indent)
+	out = appendJSONFloat(out, mean)
+	if fallback != "" {
+		out = append(out, fieldSep...)
+		out = appendKey(out, "degraded", indent)
+		out = append(out, "true"...)
+		out = append(out, fieldSep...)
+		out = appendKey(out, "fallback", indent)
+		out = append(out, '"')
+		out = append(out, fallback...)
+		out = append(out, '"')
+	}
+	if indent {
+		out = append(out, "\n}\n"...)
+	} else {
+		out = append(out, '}')
+	}
+	return out
+}
+
+// wordMask returns the valid-bit mask for an m-bit word, m <= 64.
+func wordMask(m int) uint64 {
+	if m >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(m)) - 1
+}
+
+// estimateWords prices a vector stream against a table without building
+// logic.Word values: Hd and stable-zeros come straight from uint64
+// bit-twiddling (identical, by definition, to logic.Hd/StableZeros for
+// words that fit one limb). dst must have len(words)-1 entries.
+func estimateWords(t *lut.Table, dst []float64, words []uint64, enhanced bool) float64 {
+	mask := wordMask(t.InputBits)
+	var total float64
+	for i := 1; i < len(words); i++ {
+		prev, cur := words[i-1]&mask, words[i]&mask
+		hd := bits.OnesCount64(prev ^ cur)
+		var q float64
+		if enhanced {
+			z := bits.OnesCount64(^(prev | cur) & mask)
+			q = t.PEnhanced(hd, z)
+		} else {
+			q = t.P(hd)
+		}
+		dst[i-1] = q
+		total += q
+	}
+	return total
+}

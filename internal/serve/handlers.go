@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -74,97 +75,55 @@ type estimateResponse struct {
 	Fallback string `json:"fallback,omitempty"`
 }
 
-// handleEstimate is the fast path: per-cycle charge from the fitted
-// coefficient table, microseconds per lookup, no simulation.
+// handleEstimate prices per-cycle charges from the fitted coefficient
+// table — microseconds per lookup, no simulation. Steady-state requests
+// run entirely on the lock-free LUT data plane (fastpath.go): pooled
+// buffers, hand-rolled JSON, an atomic snapshot lookup, zero heap
+// allocations. Anything outside the hot shape falls back to the legacy
+// encoding/json + struct-walk path, which owns all error semantics.
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	sc := getScratch()
+	defer putScratch(sc)
+	if !readBody(w, r, sc) {
+		return
+	}
+	if out, ok := s.estimateFastBytes(sc.body, sc, true); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(out)
+		return
+	}
+	s.met.servedLegacy.Inc()
+	s.estimateLegacy(w, sc.body)
+}
+
+// decodeJSON is readJSON for an already-buffered body (the fast path
+// reads the bytes before deciding it cannot serve them). Size overflow
+// was already answered by readBody, so only malformed JSON remains.
+func decodeJSON(w http.ResponseWriter, body []byte, v any) bool {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// estimateLegacy is the slow estimate path: reflective JSON decode and
+// struct-walking model evaluation, byte-identical in behavior to the
+// pre-LUT server. The fast path serves only requests this path would
+// answer identically, so falling back is always safe.
+func (s *Server) estimateLegacy(w http.ResponseWriter, body []byte) {
 	var req estimateRequest
-	if !readJSON(w, r, &req) {
+	if !decodeJSON(w, body, &req) {
 		return
 	}
-	model, fallback, ok := s.resolveModel(w, &req.Model)
-	if !ok {
+	est, enhanced, fallback, rerr := s.computeEstimate(&req)
+	if rerr != nil {
+		writeError(w, rerr.code, "%s", rerr.msg)
 		return
 	}
-	m := model.InputBits
-
-	var est []float64
-	var enhanced bool
-	switch {
-	case len(req.Words) > 0 && len(req.Hd) > 0:
-		writeError(w, http.StatusBadRequest, "pass either hd or words, not both")
-		return
-	case len(req.Words) > 0:
-		if len(req.Words) < 2 {
-			writeError(w, http.StatusBadRequest, "words mode needs >= 2 vectors")
-			return
-		}
-		if len(req.Words) > maxBatchCycles {
-			writeError(w, http.StatusBadRequest, "batch exceeds %d vectors", maxBatchCycles)
-			return
-		}
-		if m > 64 {
-			writeError(w, http.StatusBadRequest,
-				"words mode supports <= 64 input bits, model has %d; use hd mode", m)
-			return
-		}
-		words := make([]logic.Word, len(req.Words))
-		for i, v := range req.Words {
-			if m < 64 && v>>uint(m) != 0 {
-				writeError(w, http.StatusBadRequest,
-					"word %d (%#x) does not fit the model's %d input bits", i, v, m)
-				return
-			}
-			words[i] = logic.FromUint(v, m)
-		}
-		enhanced = model.HasEnhanced()
-		est = make([]float64, len(words)-1)
-		for i := 1; i < len(words); i++ {
-			hd := logic.Hd(words[i-1], words[i])
-			if enhanced {
-				est[i-1] = model.PEnhanced(hd, logic.StableZeros(words[i-1], words[i]))
-			} else {
-				est[i-1] = model.P(hd)
-			}
-		}
-	case len(req.Hd) > 0:
-		if len(req.Hd) > maxBatchCycles {
-			writeError(w, http.StatusBadRequest, "batch exceeds %d cycles", maxBatchCycles)
-			return
-		}
-		for i, hd := range req.Hd {
-			if hd < 0 || hd > m {
-				writeError(w, http.StatusBadRequest, "hd[%d] = %d outside [0, %d]", i, hd, m)
-				return
-			}
-		}
-		if len(req.StableZeros) > 0 {
-			if len(req.StableZeros) != len(req.Hd) {
-				writeError(w, http.StatusBadRequest,
-					"stable_zeros length %d != hd length %d", len(req.StableZeros), len(req.Hd))
-				return
-			}
-			for i, z := range req.StableZeros {
-				if z < 0 || z > m-req.Hd[i] {
-					writeError(w, http.StatusBadRequest,
-						"stable_zeros[%d] = %d outside [0, %d] for hd %d", i, z, m-req.Hd[i], req.Hd[i])
-					return
-				}
-			}
-			var err error
-			est, err = model.EstimateEnhanced(req.Hd, req.StableZeros)
-			if err != nil {
-				writeError(w, http.StatusBadRequest, "%v", err)
-				return
-			}
-			enhanced = model.HasEnhanced()
-		} else {
-			est = model.EstimateBasic(req.Hd)
-		}
-	default:
-		writeError(w, http.StatusBadRequest, "pass hd classes or a words vector stream")
-		return
-	}
-
 	var total float64
 	for _, q := range est {
 		total += q
@@ -184,6 +143,90 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		Degraded:  fallback != "",
 		Fallback:  fallback,
 	})
+}
+
+// computeEstimate resolves the model (with the degradation chain) and
+// evaluates one decoded estimate request. Failures come back as a
+// resolveError carrying exactly the status and message the legacy handler
+// always produced; the stream endpoint renders the same failure as a
+// per-line error object instead.
+func (s *Server) computeEstimate(req *estimateRequest) ([]float64, bool, string, *resolveError) {
+	badReq := func(format string, args ...any) *resolveError {
+		return &resolveError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+	}
+	model, fallback, rerr := s.lookupModel(&req.Model)
+	if rerr != nil {
+		return nil, false, "", rerr
+	}
+	m := model.InputBits
+
+	var est []float64
+	var enhanced bool
+	switch {
+	case len(req.Words) > 0 && len(req.Hd) > 0:
+		return nil, false, "", badReq("pass either hd or words, not both")
+	case len(req.Words) > 0:
+		if len(req.Words) < 2 {
+			return nil, false, "", badReq("words mode needs >= 2 vectors")
+		}
+		if len(req.Words) > maxBatchCycles {
+			return nil, false, "", badReq("batch exceeds %d vectors", maxBatchCycles)
+		}
+		if m > 64 {
+			return nil, false, "", badReq(
+				"words mode supports <= 64 input bits, model has %d; use hd mode", m)
+		}
+		words := make([]logic.Word, len(req.Words))
+		for i, v := range req.Words {
+			if m < 64 && v>>uint(m) != 0 {
+				return nil, false, "", badReq(
+					"word %d (%#x) does not fit the model's %d input bits", i, v, m)
+			}
+			words[i] = logic.FromUint(v, m)
+		}
+		enhanced = model.HasEnhanced()
+		est = make([]float64, len(words)-1)
+		for i := 1; i < len(words); i++ {
+			hd := logic.Hd(words[i-1], words[i])
+			if enhanced {
+				est[i-1] = model.PEnhanced(hd, logic.StableZeros(words[i-1], words[i]))
+			} else {
+				est[i-1] = model.P(hd)
+			}
+		}
+	case len(req.Hd) > 0:
+		if len(req.Hd) > maxBatchCycles {
+			return nil, false, "", badReq("batch exceeds %d cycles", maxBatchCycles)
+		}
+		for i, hd := range req.Hd {
+			if hd < 0 || hd > m {
+				return nil, false, "", badReq("hd[%d] = %d outside [0, %d]", i, hd, m)
+			}
+		}
+		if len(req.StableZeros) > 0 {
+			if len(req.StableZeros) != len(req.Hd) {
+				return nil, false, "", badReq(
+					"stable_zeros length %d != hd length %d", len(req.StableZeros), len(req.Hd))
+			}
+			for i, z := range req.StableZeros {
+				if z < 0 || z > m-req.Hd[i] {
+					return nil, false, "", badReq(
+						"stable_zeros[%d] = %d outside [0, %d] for hd %d", i, z, m-req.Hd[i], req.Hd[i])
+				}
+			}
+			var err error
+			est, err = model.EstimateEnhanced(req.Hd, req.StableZeros)
+			if err != nil {
+				return nil, false, "", badReq("%v", err)
+			}
+			enhanced = model.HasEnhanced()
+		} else {
+			est = model.EstimateBasic(req.Hd)
+		}
+	default:
+		return nil, false, "", badReq("pass hd classes or a words vector stream")
+	}
+	return est, enhanced, fallback, nil
 }
 
 type statsRequest struct {
@@ -248,12 +291,11 @@ func (s *Server) handleEstimateStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The closed-form distribution depends only on (N, μ, σ, ρ, width,
+	// ports) — memoized, so repeated stats queries skip the analytic
+	// construction and convolution entirely and share one cached slice.
 	ws := stats.WordStats{N: req.N, Mean: req.Mean, Std: req.Std, Rho: req.Rho}
-	port := hddist.FromWordStats(ws, req.Width)
-	dist := port
-	for p := 1; p < req.Ports; p++ {
-		dist = hddist.Convolve(dist, port)
-	}
+	dist := s.distMemo.FromWordStatsPorts(ws, req.Width, req.Ports)
 	avg, err := model.AvgFromDist(dist)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)

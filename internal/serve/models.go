@@ -11,6 +11,7 @@ import (
 
 	"hdpower/internal/core"
 	"hdpower/internal/dwlib"
+	"hdpower/internal/lut"
 	"hdpower/internal/power"
 	"hdpower/internal/sim"
 )
@@ -104,6 +105,7 @@ type buildEntry struct {
 	// Guarded by the owning cache's mutex.
 	status   string
 	model    *core.Model
+	table    *lut.Table // flattened model, published into the LUT snapshot
 	err      error
 	manifest *core.RunManifest
 }
@@ -133,6 +135,12 @@ type modelSnapshot struct {
 // modelCache is the fitted-model LRU plus the singleflight table for
 // in-flight builds. Only ready models count against the capacity;
 // building entries are bounded by the build queue.
+//
+// Alongside the locked structures, the cache maintains an RCU snapshot of
+// every ready model's flattened lut.Table (luts): the snapshot is rebuilt
+// and atomically swapped whenever the ready set changes, so the estimate
+// fast path resolves models with a single atomic load and map read —
+// never the cache mutex.
 type modelCache struct {
 	mu       sync.Mutex
 	capacity int
@@ -141,10 +149,12 @@ type modelCache struct {
 	byID     map[string]*buildEntry // same entries, keyed by buildID
 	order    *list.List             // ready keys, MRU at front
 	elems    map[string]*list.Element
+
+	luts atomic.Pointer[lutSet]
 }
 
 func newModelCache(capacity int, met *metrics) *modelCache {
-	return &modelCache{
+	c := &modelCache{
 		capacity: capacity,
 		met:      met,
 		entries:  make(map[string]*buildEntry),
@@ -152,6 +162,29 @@ func newModelCache(capacity int, met *metrics) *modelCache {
 		order:    list.New(),
 		elems:    make(map[string]*list.Element),
 	}
+	c.luts.Store(emptyLutSet)
+	return c
+}
+
+// table resolves a flattened model from the current LUT snapshot without
+// taking any lock. module must be an interned catalog name (moduleIntern)
+// so the composite key allocates nothing.
+func (c *modelCache) table(module string, width int, seed int64) *lut.Table {
+	return c.luts.Load().tables[lutKey{module: module, width: width, seed: seed}]
+}
+
+// publishLUTs rebuilds the LUT snapshot from the ready entries and swaps
+// it in. Callers must hold c.mu; the new snapshot is immutable from birth,
+// so readers that loaded the old one keep a consistent view.
+func (c *modelCache) publishLUTs() {
+	set := &lutSet{tables: make(map[lutKey]*lut.Table, len(c.entries))}
+	for _, ent := range c.entries {
+		if ent.status == statusReady && ent.table != nil {
+			set.tables[lutKey{module: ent.spec.Module, width: ent.spec.Width, seed: ent.spec.Seed}] = ent.table
+		}
+	}
+	c.luts.Store(set)
+	c.met.lutSwaps.Add(1)
 }
 
 // lookupID returns the entry for a build ID, if present.
@@ -231,8 +264,21 @@ func (c *modelCache) abandon(ent *buildEntry) {
 }
 
 // complete settles a build, publishes the result and its flight-recorder
-// manifest, and evicts beyond the LRU capacity.
+// manifest, and evicts beyond the LRU capacity. Successful builds are
+// flattened into a lut.Table (outside the lock — flattening walks every
+// coefficient) and the RCU snapshot is republished so estimate readers
+// see the new (or evicted) model without ever blocking on c.mu.
 func (c *modelCache) complete(ent *buildEntry, model *core.Model, err error, man *core.RunManifest) {
+	var table *lut.Table
+	if err == nil && model != nil {
+		t, terr := lut.New(model)
+		if terr == nil {
+			table = t
+		}
+		// A model that fails to flatten (structurally invalid) still
+		// serves through the slow path; nothing to do here — estimate
+		// requests fall back to the struct walk.
+	}
 	c.mu.Lock()
 	ent.manifest = man
 	if err != nil {
@@ -241,6 +287,7 @@ func (c *modelCache) complete(ent *buildEntry, model *core.Model, err error, man
 	} else {
 		ent.status = statusReady
 		ent.model = model
+		ent.table = table
 		c.elems[ent.key] = c.order.PushFront(ent.key)
 		for c.order.Len() > c.capacity {
 			oldest := c.order.Back()
@@ -251,6 +298,7 @@ func (c *modelCache) complete(ent *buildEntry, model *core.Model, err error, man
 			delete(c.entries, key)
 			c.met.cacheEvicted.Inc()
 		}
+		c.publishLUTs()
 	}
 	c.mu.Unlock()
 	close(ent.done)

@@ -8,6 +8,7 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -103,19 +104,30 @@ const (
 	fallbackRegression = "regression" // synthesized from the library's width regression
 )
 
-// resolveModel returns the model answering an estimate for spec: the
+// resolveError is a model-resolution failure with the HTTP status it
+// should map to: 400 for a bad spec, 404 for a missing model. The stream
+// endpoint renders it as a per-line error instead of a status code.
+type resolveError struct {
+	code int
+	msg  string
+}
+
+func (e *resolveError) Error() string { return e.msg }
+
+// lookupModel resolves the model answering an estimate for spec: the
 // exact cached model when available, otherwise the first rung of the
 // degradation chain that can serve the request. The returned fallback
-// string is empty for an exact answer. On failure the HTTP error has
-// already been written.
-func (s *Server) resolveModel(w http.ResponseWriter, spec *BuildSpec) (*core.Model, string, bool) {
+// string is empty for an exact answer. It performs all the metric
+// accounting (per call — the stream endpoint calls it per line, so
+// degraded batch items count item by item like unary requests).
+func (s *Server) lookupModel(spec *BuildSpec) (*core.Model, string, *resolveError) {
 	if err := spec.normalize(); err != nil {
-		writeError(w, http.StatusBadRequest, "model spec: %v", err)
-		return nil, "", false
+		return nil, "", &resolveError{code: http.StatusBadRequest,
+			msg: fmt.Sprintf("model spec: %v", err)}
 	}
 	if model, ok := s.cache.ready(spec.Key()); ok {
 		s.met.cacheHits.Inc()
-		return model, "", true
+		return model, "", nil
 	}
 	// Degradation chain: trade fidelity for availability, most faithful
 	// rung first. Characterization is deterministic per seed, so a
@@ -124,21 +136,31 @@ func (s *Server) resolveModel(w http.ResponseWriter, spec *BuildSpec) (*core.Mod
 	// paper's parameterizable fallback for uncharacterized widths.
 	if model, ok := s.cache.readySibling(spec.Module, spec.Width); ok {
 		s.met.estimateDegraded(fallbackSeed).Inc()
-		return model, fallbackSeed, true
+		return model, fallbackSeed, nil
 	}
 	if s.lib != nil {
 		if model, err := s.lib.GetModel(spec.Module, spec.Width, false); err == nil {
 			s.met.estimateDegraded(fallbackLibrary).Inc()
-			return model, fallbackLibrary, true
+			return model, fallbackLibrary, nil
 		} else if atomicio.IsCorrupt(err) {
 			s.log.Warn("library model corrupt; quarantined", "key", spec.Key(), "err", err)
 		}
 		if pm, err := s.lib.GetParam(spec.Module); err == nil {
 			s.met.estimateDegraded(fallbackRegression).Inc()
-			return pm.Synthesize(spec.Width), fallbackRegression, true
+			return pm.Synthesize(spec.Width), fallbackRegression, nil
 		}
 	}
-	writeError(w, http.StatusNotFound,
-		"model %s not built and no fallback available; POST /v1/models/build first", spec.Key())
-	return nil, "", false
+	return nil, "", &resolveError{code: http.StatusNotFound,
+		msg: fmt.Sprintf("model %s not built and no fallback available; POST /v1/models/build first", spec.Key())}
+}
+
+// resolveModel is lookupModel for the unary handlers: on failure the HTTP
+// error has already been written.
+func (s *Server) resolveModel(w http.ResponseWriter, spec *BuildSpec) (*core.Model, string, bool) {
+	model, fallback, rerr := s.lookupModel(spec)
+	if rerr != nil {
+		writeError(w, rerr.code, "%s", rerr.msg)
+		return nil, "", false
+	}
+	return model, fallback, true
 }

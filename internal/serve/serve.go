@@ -11,6 +11,7 @@
 // Endpoints:
 //
 //	POST /v1/estimate                 per-cycle estimates from Hd classes or vectors
+//	POST /v1/estimate/stream          NDJSON batch: one estimate request per line
 //	POST /v1/estimate/stats           closed-form average from (μ, σ, ρ, width)
 //	GET  /v1/models                   cached / in-flight model inventory
 //	POST /v1/models/build             async characterize+fit (singleflight, LRU)
@@ -34,6 +35,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"runtime"
 	"runtime/debug"
 	"strconv"
 	"sync"
@@ -42,6 +44,7 @@ import (
 
 	"hdpower/internal/core"
 	"hdpower/internal/faultpoint"
+	"hdpower/internal/hddist"
 	"hdpower/internal/modellib"
 	"hdpower/internal/obs"
 )
@@ -157,6 +160,13 @@ type metrics struct {
 	queueRejected *obs.Counter
 	buildSeconds  *obs.Histogram
 	estCycles     *obs.Counter
+	lutSwaps      *obs.Gauge
+
+	// The served-path counters are resolved once here: the labeled-counter
+	// registry lookup locks and allocates, which the per-estimate hot path
+	// must not.
+	servedLUT    *obs.Counter
+	servedLegacy *obs.Counter
 
 	charPatterns   *obs.Counter
 	charShards     *obs.Counter
@@ -171,7 +181,7 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	reg := obs.NewRegistry()
-	return &metrics{
+	m := &metrics{
 		reg:           reg,
 		inflight:      reg.Gauge("hdserve_inflight_requests", "HTTP requests currently being served"),
 		panics:        reg.Counter("hdserve_panics_total", "handler panics recovered"),
@@ -184,17 +194,31 @@ func newMetrics() *metrics {
 		queueRejected: reg.Counter("hdserve_build_queue_rejected_total", "build requests rejected with 429 (queue full)"),
 		buildSeconds:  reg.Histogram("hdserve_model_build_seconds", "model build latency", nil),
 		estCycles:     reg.Counter("hdserve_estimate_cycles_total", "cycles estimated across all estimate requests"),
+		lutSwaps:      reg.Gauge("hdserve_estimate_lut_swaps_total", "RCU publishes of the flattened-model LUT snapshot"),
 
 		charPatterns:   reg.Counter("hdserve_char_patterns_total", "characterization pairs simulated"),
 		charShards:     reg.Counter("hdserve_char_shards_merged_total", "characterization shards merged"),
 		charEarlyStops: reg.Counter("hdserve_char_early_stops_total", "characterization runs ended early by convergence"),
 
+		// The process allocation counter gives load generators (cmd/hdload)
+		// a wire-visible allocs/op: scrape /metrics before and after a load
+		// phase and divide the delta by the estimates served.
 		buildRetries:    reg.Counter("hdserve_model_build_retries_total", "transiently failed build attempts retried"),
 		buildsRecovered: reg.Counter("hdserve_builds_recovered_total", "interrupted builds re-enqueued at startup"),
 		buildsResumed:   reg.Counter("hdserve_builds_resumed_total", "characterization runs resumed from a checkpoint"),
 		ckptSaves:       reg.Counter("hdserve_checkpoint_saves_total", "characterization checkpoints written"),
 		ckptFailures:    reg.Counter("hdserve_checkpoint_failures_total", "characterization checkpoint writes that failed"),
 	}
+	m.servedLUT = m.estimateServed(servedLUT)
+	m.servedLegacy = m.estimateServed(servedLegacy)
+	m.reg.CounterFunc("hdserve_go_mallocs_total",
+		"cumulative heap objects allocated by the process (runtime.MemStats.Mallocs)",
+		func() uint64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return ms.Mallocs
+		})
+	return m
 }
 
 // buildsByBackend counts model builds by the simulation backend that
@@ -207,11 +231,23 @@ func (m *metrics) buildsByBackend(backend string) *obs.Counter {
 }
 
 // estimateDegraded counts estimate answers served from a fallback model,
-// labeled by which rung of the degradation chain answered.
+// labeled by which rung of the degradation chain answered. Counted per
+// estimate — the stream endpoint increments it once per degraded line,
+// not once per request, so unary and batch traffic read the same way.
 func (m *metrics) estimateDegraded(fallback string) *obs.Counter {
 	return m.reg.CounterL("hdserve_estimate_degraded_total",
-		"estimate requests answered from a fallback model instead of the requested one",
+		"estimates answered from a fallback model instead of the requested one",
 		[]obs.Label{{Key: "fallback", Value: fallback}})
+}
+
+// estimateServed counts answered estimates by the code path that produced
+// them: "lut" for the lock-free flattened-table fast path, "legacy" for
+// the encoding/json + struct-walk fallback. Per item on the stream
+// endpoint, like every other hdserve_estimate_* counter.
+func (m *metrics) estimateServed(path string) *obs.Counter {
+	return m.reg.CounterL("hdserve_estimate_served_total",
+		"estimates answered, labeled by serving path (lut = lock-free fast path)",
+		[]obs.Label{{Key: "path", Value: path}})
 }
 
 func (m *metrics) request(path string, code int) *obs.Counter {
@@ -226,14 +262,15 @@ func (m *metrics) latency(path string) *obs.Histogram {
 
 // Server is one hdserve instance.
 type Server struct {
-	cfg    Config
-	mux    *http.ServeMux
-	met    *metrics
-	cache  *modelCache
-	hooks  *core.Hooks
-	tracer *obs.Tracer
-	log    *slog.Logger
-	lib    *modellib.Library // nil unless LibraryDir is configured and opens
+	cfg      Config
+	mux      *http.ServeMux
+	met      *metrics
+	cache    *modelCache
+	hooks    *core.Hooks
+	tracer   *obs.Tracer
+	log      *slog.Logger
+	lib      *modellib.Library // nil unless LibraryDir is configured and opens
+	distMemo *hddist.Memo      // closed-form Hd-distribution cache (stats endpoint)
 
 	queue     chan *buildEntry
 	buildWG   sync.WaitGroup // queued + running builds
@@ -251,14 +288,15 @@ func New(cfg Config) *Server {
 	cfg.setDefaults()
 	met := newMetrics()
 	s := &Server{
-		cfg:    cfg,
-		mux:    http.NewServeMux(),
-		met:    met,
-		cache:  newModelCache(cfg.ModelCache, met),
-		queue:  make(chan *buildEntry, cfg.BuildQueue),
-		quit:   make(chan struct{}),
-		tracer: obs.NewTracer(cfg.TraceCapacity),
-		log:    cfg.Logger,
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		met:      met,
+		cache:    newModelCache(cfg.ModelCache, met),
+		queue:    make(chan *buildEntry, cfg.BuildQueue),
+		quit:     make(chan struct{}),
+		tracer:   obs.NewTracer(cfg.TraceCapacity),
+		log:      cfg.Logger,
+		distMemo: hddist.NewMemo(0),
 	}
 	if s.log == nil {
 		s.log = obs.NopLogger()
@@ -314,6 +352,7 @@ func New(cfg Config) *Server {
 	s.handle("GET /readyz", s.handleReadyz)
 	s.handle("GET /metrics", s.handleMetrics)
 	s.handle("POST /v1/estimate", s.handleEstimate)
+	s.handle("POST /v1/estimate/stream", s.handleEstimateStream)
 	s.handle("POST /v1/estimate/stats", s.handleEstimateStats)
 	s.handle("GET /v1/models", s.handleModels)
 	s.handle("POST /v1/models/build", s.handleModelBuild)
@@ -368,6 +407,14 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	n, err := w.ResponseWriter.Write(b)
 	w.bytes += int64(n)
 	return n, err
+}
+
+// Flush forwards to the underlying writer so the streaming batch endpoint
+// can push NDJSON lines as they are produced.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // wrap applies panic recovery, per-request timeout, the body size cap,
