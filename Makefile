@@ -7,12 +7,15 @@ STATICCHECK_VERSION ?= 2024.1.1
 # Enforced coverage floors (percent of statements) for the packages the
 # paper's correctness hangs on; `make cover` fails below them. The LUT
 # and Hd-distribution memo floors guard the estimate fast path: a wrong
-# flattened table silently misprices every fast-path answer.
-COVER_FLOOR_CORE   ?= 90
-COVER_FLOOR_SIM    ?= 90
-COVER_FLOOR_BITSIM ?= 90
-COVER_FLOOR_LUT    ?= 90
-COVER_FLOOR_HDDIST ?= 90
+# flattened table silently misprices every fast-path answer. The
+# telemetry floor guards the measurement plane itself: a wrong window
+# ring or burn rate silently mispages and misbudgets refinement.
+COVER_FLOOR_CORE      ?= 90
+COVER_FLOOR_SIM       ?= 90
+COVER_FLOOR_BITSIM    ?= 90
+COVER_FLOOR_LUT       ?= 90
+COVER_FLOOR_HDDIST    ?= 90
+COVER_FLOOR_TELEMETRY ?= 90
 
 .PHONY: test lint race chaos cover bench bench-char bench-fresh bench-gate repro \
 	serve-bench serve-fresh serve-load serve-gate
@@ -51,7 +54,7 @@ race:
 # arming slow faults here shifts goroutine interleavings without making
 # any test nondeterministically fail.
 chaos:
-	HDPOWER_FAULTPOINTS='core.shard=slow:p=0.2:delay=2ms;core.merge=slow:p=0.2:delay=2ms;bitsim.batch=slow:p=0.2:delay=2ms;atomicio.write=slow:p=0.3:delay=2ms;serve.build=slow:p=0.5:delay=5ms' \
+	HDPOWER_FAULTPOINTS='core.shard=slow:p=0.2:delay=2ms;core.merge=slow:p=0.2:delay=2ms;bitsim.batch=slow:p=0.2:delay=2ms;atomicio.write=slow:p=0.3:delay=2ms;serve.build=slow:p=0.5:delay=5ms;telemetry.capture=slow:p=0.5:delay=2ms' \
 		$(GO) test -race -count=1 ./internal/core/... ./internal/bitsim/... ./internal/atomicio/... \
 		./internal/faultpoint/... ./internal/modellib/... ./internal/serve/...
 
@@ -63,8 +66,10 @@ cover:
 	$(GO) test -coverprofile=coverage_bitsim.out ./internal/bitsim
 	$(GO) test -coverprofile=coverage_lut.out ./internal/lut
 	$(GO) test -coverprofile=coverage_hddist.out ./internal/hddist
+	$(GO) test -coverprofile=coverage_telemetry.out ./internal/telemetry
 	@for spec in core:$(COVER_FLOOR_CORE) sim:$(COVER_FLOOR_SIM) bitsim:$(COVER_FLOOR_BITSIM) \
-			lut:$(COVER_FLOOR_LUT) hddist:$(COVER_FLOOR_HDDIST); do \
+			lut:$(COVER_FLOOR_LUT) hddist:$(COVER_FLOOR_HDDIST) \
+			telemetry:$(COVER_FLOOR_TELEMETRY); do \
 		pkg=$${spec%%:*}; floor=$${spec##*:}; \
 		total=$$($(GO) tool cover -func=coverage_$$pkg.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 		echo "internal/$$pkg coverage: $$total% (floor $$floor%)"; \
@@ -107,7 +112,7 @@ bench-gate: bench-fresh
 # estimate planes.
 SERVE_ADDR ?= 127.0.0.1:18080
 SERVE_LOAD_FLAGS ?= -models csa-multiplier:8,ripple-adder:8 -patterns 2000 \
-	-mix mixed -concurrency 4 -duration 5s -warmup 1s
+	-mix mixed -concurrency 4 -duration 5s -warmup 1s -telemetry-check
 
 # Overwrites the committed BENCH_serve.json baseline — use serve-gate to
 # compare against it instead.
@@ -134,8 +139,12 @@ serve-load:
 # allocations per request and the streaming plane ~2 per line, so a
 # regression that re-introduces per-estimate allocation (the lut fast
 # path decaying to the legacy decoder) blows the stream ceiling
-# immediately. QPS floors depend on host speed, so like bench-gate's
-# scaling floor they are CI-only (see .github/workflows/ci.yml).
+# immediately. The third invocation budgets the observability plane:
+# a /v1/telemetry snapshot (ServeTelemetry, recorded by hdload's
+# -telemetry-check pass) must answer under 10ms p99 with the full
+# profiled-model state loaded. QPS floors depend on host speed, so like
+# bench-gate's scaling floor they are CI-only (see
+# .github/workflows/ci.yml).
 serve-gate: serve-fresh
 	$(GO) run ./cmd/benchcmp -old BENCH_serve.json -new BENCH_serve_fresh.json \
 		-metric qps -max-regress 0.6 \
@@ -143,6 +152,9 @@ serve-gate: serve-fresh
 	$(GO) run ./cmd/benchcmp -old BENCH_serve.json -new BENCH_serve_fresh.json \
 		-metric qps -max-regress 0.6 \
 		-budget-match stream -max-p99 80000000 -max-allocs 16
+	$(GO) run ./cmd/benchcmp -old BENCH_serve.json -new BENCH_serve_fresh.json \
+		-metric qps -max-regress 0.6 \
+		-budget-match ServeTelemetry -max-p99 10000000
 
 # Regenerate the paper's tables and figures at full scale.
 repro:

@@ -17,8 +17,16 @@
 // the pool at fixed offsets. Wall-clock only times phases and latencies;
 // it never influences which requests are sent.
 //
+// With -telemetry-check the run also audits the server's own telemetry
+// plane: /v1/telemetry is scraped before and after the measure phase and
+// the server-observed request delta must agree with the client-side count
+// within 1% per plane, then /v1/telemetry snapshot latency is benchmarked
+// as a ServeTelemetry/snapshot record so the observability plane itself
+// rides the same benchcmp budgets as the estimate planes.
+//
 // Exit status: 0 on success, 1 when any request failed (a gate run must
-// not average errors away), 2 on usage or setup failure.
+// not average errors away) or a telemetry cross-check disagreed, 2 on
+// usage or setup failure.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -76,6 +85,7 @@ type config struct {
 	readyTimeout time.Duration
 	out          string
 	legacy       bool
+	telemetry    bool
 }
 
 func main() {
@@ -98,13 +108,14 @@ func main() {
 	flag.DurationVar(&cfg.readyTimeout, "ready-timeout", 30*time.Second, "how long to poll /readyz before giving up")
 	flag.StringVar(&cfg.out, "o", "", "write the benchmark JSON here (atomic); stdout when empty")
 	flag.BoolVar(&cfg.legacy, "legacy", false, "force the server's legacy decode path (A/B baseline): adds a patterns field to the model spec, which the fast parser rejects while resolving to the same cached model")
+	flag.BoolVar(&cfg.telemetry, "telemetry-check", false, "cross-check client request counts against the server's /v1/telemetry planes (>1% disagreement fails the run) and benchmark snapshot latency as ServeTelemetry/snapshot")
 	flag.Parse()
 
 	if err := cfg.parseModels(modelsFlag); err != nil {
 		fmt.Fprintf(os.Stderr, "hdload: %v\n", err)
 		os.Exit(2)
 	}
-	recs, errCount, err := run(&cfg)
+	recs, errCount, checkFails, err := run(&cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hdload: %v\n", err)
 		os.Exit(2)
@@ -123,8 +134,16 @@ func main() {
 	} else {
 		os.Stdout.Write(data)
 	}
+	fail := false
 	if errCount > 0 {
 		fmt.Fprintf(os.Stderr, "hdload: FAIL: %d request(s) errored during the measure phase\n", errCount)
+		fail = true
+	}
+	for _, f := range checkFails {
+		fmt.Fprintf(os.Stderr, "hdload: FAIL: %s\n", f)
+		fail = true
+	}
+	if fail {
 		os.Exit(1)
 	}
 }
@@ -165,8 +184,9 @@ func (c *config) parseModels(spec string) error {
 }
 
 // run prepares the server (readiness, model builds, input-bits lookup)
-// and executes one load scenario per selected endpoint.
-func run(cfg *config) (recs []record, errCount int64, err error) {
+// and executes one load scenario per selected endpoint, plus the
+// telemetry audit and snapshot benchmark when -telemetry-check is set.
+func run(cfg *config) (recs []record, errCount int64, checkFails []string, err error) {
 	client := &http.Client{
 		Timeout: 30 * time.Second,
 		Transport: &http.Transport{
@@ -175,11 +195,11 @@ func run(cfg *config) (recs []record, errCount int64, err error) {
 		},
 	}
 	if err := waitReady(client, cfg.url, cfg.readyTimeout); err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	for i := range cfg.models {
 		if err := buildModel(client, cfg, &cfg.models[i]); err != nil {
-			return nil, 0, err
+			return nil, 0, nil, err
 		}
 	}
 
@@ -189,14 +209,24 @@ func run(cfg *config) (recs []record, errCount int64, err error) {
 		endpoints = []string{cfg.endpoint}
 	}
 	for _, ep := range endpoints {
-		rec, errs, err := runScenario(client, cfg, ep, pool)
+		rec, errs, checkFail, err := runScenario(client, cfg, ep, pool)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, nil, err
 		}
 		recs = append(recs, rec)
 		errCount += errs
+		if checkFail != "" {
+			checkFails = append(checkFails, checkFail)
+		}
 	}
-	return recs, errCount, nil
+	if cfg.telemetry {
+		rec, err := telemetryBench(client, cfg)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, errCount, checkFails, nil
 }
 
 // waitReady polls /readyz until the server answers 200.
@@ -460,8 +490,10 @@ func (w *loadWorker) do(body []byte, unary bool) (int64, error) {
 }
 
 // runScenario runs warmup + measure for one endpoint and folds the
-// results into a benchjson record.
-func runScenario(client *http.Client, cfg *config, ep string, pool [][]byte) (record, int64, error) {
+// results into a benchjson record. With -telemetry-check it also returns
+// a non-empty failure description when the server's telemetry plane
+// disagrees with the client-side request count by more than 1%.
+func runScenario(client *http.Client, cfg *config, ep string, pool [][]byte) (record, int64, string, error) {
 	unary := ep == "unary"
 	var batches [][]byte
 	if !unary {
@@ -507,12 +539,21 @@ func runScenario(client *http.Client, cfg *config, ep string, pool [][]byte) (re
 	runPhase(cfg.warmup, false)
 	mallocs0, err := scrapeCounter(client, cfg.url, "hdserve_go_mallocs_total")
 	if err != nil {
-		return record{}, 0, err
+		return record{}, 0, "", err
+	}
+	// The plane counters are cumulative since server start; diffing around
+	// the measure phase isolates this run's traffic from warmup and from
+	// whatever hit the server before.
+	var tel0 uint64
+	if cfg.telemetry {
+		if tel0, err = scrapePlaneRequests(client, cfg.url, ep); err != nil {
+			return record{}, 0, "", err
+		}
 	}
 	elapsed := runPhase(cfg.duration, true)
 	mallocs1, err := scrapeCounter(client, cfg.url, "hdserve_go_mallocs_total")
 	if err != nil {
-		return record{}, 0, err
+		return record{}, 0, "", err
 	}
 
 	var samples []time.Duration
@@ -524,7 +565,23 @@ func runScenario(client *http.Client, cfg *config, ep string, pool [][]byte) (re
 		errs += w.errs
 	}
 	if ops == 0 {
-		return record{}, 0, fmt.Errorf("%s scenario completed zero requests in %s", ep, cfg.duration)
+		return record{}, 0, "", fmt.Errorf("%s scenario completed zero requests in %s", ep, cfg.duration)
+	}
+	checkFail := ""
+	if cfg.telemetry {
+		tel1, err := scrapePlaneRequests(client, cfg.url, ep)
+		if err != nil {
+			return record{}, 0, "", err
+		}
+		serverOps := tel1 - tel0
+		diff := math.Abs(float64(serverOps)-float64(ops)) / float64(ops)
+		fmt.Fprintf(os.Stderr, "hdload: telemetry-check %s: client=%d server=%d (%.2f%% apart)\n",
+			ep, ops, serverOps, diff*100)
+		if diff > 0.01 {
+			checkFail = fmt.Sprintf(
+				"telemetry-check %s: server telemetry saw %d requests, client sent %d (>1%% apart)",
+				ep, serverOps, ops)
+		}
 	}
 	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
 	allocsPerOp := 0.0
@@ -555,7 +612,89 @@ func runScenario(client *http.Client, cfg *config, ep string, pool [][]byte) (re
 		rec.Name, ops, estimates, errs,
 		time.Duration(percentile(samples, 0.50)), time.Duration(percentile(samples, 0.99)),
 		rec.Metrics["qps"], allocsPerOp)
-	return rec, errs, nil
+	return rec, errs, checkFail, nil
+}
+
+// scrapePlaneRequests returns one plane's cumulative request count from
+// GET /v1/telemetry.
+func scrapePlaneRequests(client *http.Client, url, plane string) (uint64, error) {
+	resp, err := client.Get(url + "/v1/telemetry")
+	if err != nil {
+		return 0, fmt.Errorf("scrape /v1/telemetry: %v", err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return 0, fmt.Errorf("scrape /v1/telemetry: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("scrape /v1/telemetry: status %d: %s", resp.StatusCode, data)
+	}
+	var snap struct {
+		Planes []struct {
+			Plane    string `json:"plane"`
+			Requests uint64 `json:"requests"`
+		} `json:"planes"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return 0, fmt.Errorf("scrape /v1/telemetry: %v", err)
+	}
+	for _, p := range snap.Planes {
+		if p.Plane == plane {
+			return p.Requests, nil
+		}
+	}
+	return 0, fmt.Errorf("plane %q not present on /v1/telemetry", plane)
+}
+
+// telemetryIters is how many sequential snapshot requests the telemetry
+// benchmark times. The snapshot walks every plane's window ring and the
+// whole profiler, so its latency scales with server state, not load;
+// a few hundred samples give a stable p99 in well under a second.
+const telemetryIters = 200
+
+// telemetryBench times GET /v1/telemetry after the load scenarios, while
+// the server still carries the full profiled-model state the run created,
+// and reports it as a benchjson record. The record name deliberately
+// avoids the "unary"/"stream" substrings the serve gate's budget matching
+// keys on; the telemetry plane gets its own budget instead.
+func telemetryBench(client *http.Client, cfg *config) (record, error) {
+	samples := make([]time.Duration, 0, telemetryIters)
+	start := time.Now()
+	for i := 0; i < telemetryIters; i++ {
+		t0 := time.Now()
+		resp, err := client.Get(cfg.url + "/v1/telemetry")
+		if err != nil {
+			return record{}, fmt.Errorf("telemetry bench: %v", err)
+		}
+		_, cerr := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if cerr != nil {
+			return record{}, fmt.Errorf("telemetry bench: read: %v", cerr)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return record{}, fmt.Errorf("telemetry bench: status %d", resp.StatusCode)
+		}
+		samples = append(samples, time.Since(t0))
+	}
+	elapsed := time.Since(start)
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	rec := record{
+		Name:       "ServeTelemetry/snapshot",
+		Iterations: telemetryIters,
+		NumCPU:     runtime.NumCPU(),
+		Backend:    "serve",
+		Metrics: map[string]float64{
+			"p50-ns": float64(percentile(samples, 0.50)),
+			"p99-ns": float64(percentile(samples, 0.99)),
+			"qps":    telemetryIters / elapsed.Seconds(),
+		},
+	}
+	fmt.Fprintf(os.Stderr, "hdload: %-40s ops=%d p50=%s p99=%s qps=%.0f\n",
+		rec.Name, telemetryIters,
+		time.Duration(percentile(samples, 0.50)), time.Duration(percentile(samples, 0.99)),
+		rec.Metrics["qps"])
+	return rec, nil
 }
 
 // percentile returns the nearest-rank percentile of sorted samples.

@@ -17,6 +17,12 @@
 // manifests (-manifest-dir persists them), and -admin-addr opens a second,
 // operator-only listener with /debug/pprof and /debug/traces.
 //
+// GET /v1/telemetry serves the windowed view (latency quantiles, QPS,
+// SLO burn rates, per-model Hd mix); -capture-dir writes telemetry+pprof
+// captures on SLO breach, and -refine turns the observed mix into
+// re-characterization builds for hot, under-budgeted models
+// (GET /v1/telemetry/hotset shows the recommendations).
+//
 // SIGINT/SIGTERM starts a graceful shutdown: the listener stops, readiness
 // flips to 503, and in-flight model builds drain before exit.
 package main
@@ -59,6 +65,19 @@ func main() {
 		buildRetries   = flag.Int("build-retries", 0, "retries per transiently failed build (0 = default 2, negative = none)")
 		libraryDir     = flag.String("library", "", "durable model library for persisted builds and degraded estimates (off when empty)")
 		backendName    = flag.String("backend", "bitparallel", "characterization backend: bitparallel (64 pairs per pass) or event (golden event-driven reference)")
+
+		telemetryWindow  = flag.Duration("telemetry-window", 0, "telemetry aggregation window width (0 = default 10s)")
+		telemetryWindows = flag.Int("telemetry-windows", 0, "telemetry window ring length (0 = default 30)")
+		sloUnary         = flag.Duration("slo-latency-unary", 0, "unary estimate latency budget (0 = default 25ms)")
+		sloStream        = flag.Duration("slo-latency-stream", 0, "stream estimate latency budget (0 = default 80ms)")
+		sloObjective     = flag.Float64("slo-objective", 0, "SLO success-rate objective (0 = default 0.999)")
+		sloBurn          = flag.Float64("slo-burn-breach", 0, "burn-rate multiple declaring an SLO breach (0 = default 2)")
+		captureDir       = flag.String("capture-dir", "", "write telemetry+pprof captures here on SLO breach (off when empty)")
+		captureInterval  = flag.Duration("capture-min-interval", 0, "minimum spacing between SLO captures (0 = default 1m)")
+		captureMax       = flag.Int("capture-max", 0, "max SLO captures per process (0 = default 8)")
+		refine           = flag.Duration("refine", 0, "refinement loop interval: re-characterize hot under-budgeted models from the observed Hd mix (0 = off)")
+		refineThreshold  = flag.Float64("refine-threshold", 0, "hot-class threshold as a multiple of the uniform per-class budget (0 = default 2)")
+		refineMinEst     = flag.Uint64("refine-min-estimates", 0, "minimum observed estimates before a model is refined (0 = default 1024)")
 	)
 	flag.Parse()
 	backend, err := core.ParseBackendKind(*backendName)
@@ -93,6 +112,19 @@ func main() {
 		CheckpointEvery: *checkpointEach,
 		BuildRetries:    *buildRetries,
 		LibraryDir:      *libraryDir,
+
+		TelemetryWindow:    *telemetryWindow,
+		TelemetryWindows:   *telemetryWindows,
+		SLOLatencyUnary:    *sloUnary,
+		SLOLatencyStream:   *sloStream,
+		SLOObjective:       *sloObjective,
+		SLOBurnBreach:      *sloBurn,
+		CaptureDir:         *captureDir,
+		CaptureMinInterval: *captureInterval,
+		CaptureMax:         *captureMax,
+		RefineInterval:     *refine,
+		RefineThreshold:    *refineThreshold,
+		RefineMinEstimates: *refineMinEst,
 	})
 	hs := &http.Server{
 		Addr:              *addr,

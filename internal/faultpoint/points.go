@@ -12,11 +12,12 @@ package faultpoint
 // list in the same change that plants the point, and wire it into the
 // Makefile chaos target so chaos coverage never silently decays.
 var Known = []string{
-	"atomicio.write", // torn durable write (internal/atomicio.WriteFile)
-	"bitsim.batch",   // slow bit-parallel batch (internal/bitsim CycleBatch)
-	"core.merge",     // shard merge failure (internal/core Characterize)
-	"core.shard",     // straggling shard worker (internal/core runCharShard)
-	"serve.build",    // transient model-build dispatch failure (internal/serve)
+	"atomicio.write",    // torn durable write (internal/atomicio.WriteFile)
+	"bitsim.batch",      // slow bit-parallel batch (internal/bitsim CycleBatch)
+	"core.merge",        // shard merge failure (internal/core Characterize)
+	"core.shard",        // straggling shard worker (internal/core runCharShard)
+	"serve.build",       // transient model-build dispatch failure (internal/serve)
+	"telemetry.capture", // SLO-breach diagnostic capture write failure (internal/serve)
 }
 
 // Registered reports whether name is in the Known registry.

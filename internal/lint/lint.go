@@ -155,6 +155,7 @@ func DefaultConfig() Config {
 			"internal/bitsim",
 			"internal/stimuli",
 			"internal/hddist",
+			"internal/telemetry",
 		},
 		AtomicIODir:   "internal/atomicio",
 		FaultpointDir: "internal/faultpoint",

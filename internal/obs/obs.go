@@ -116,6 +116,74 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// Quantile estimates the q-quantile (q in [0,1]) of the observed values by
+// linear interpolation inside the winning bucket. Returns 0 when the
+// histogram is empty. The overflow bucket has no finite upper bound, so a
+// quantile that lands there is clamped to the largest finite bound instead
+// of being reported as +Inf; callers needing the true tail should widen the
+// bucket bounds.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return BucketQuantile(h.bounds, counts, q)
+}
+
+// BucketQuantile estimates the q-quantile from raw histogram bucket counts:
+// counts[i] is the number of observations at or below bounds[i], and the
+// final element counts[len(bounds)] is the unbounded overflow bucket. The
+// estimate interpolates linearly within the winning bucket (the first
+// bucket's lower edge is taken as 0). Quantiles landing in the overflow
+// bucket are clamped to the last finite bound rather than +Inf. Returns 0
+// for empty counts, and panics if len(counts) != len(bounds)+1.
+func BucketQuantile(bounds []float64, counts []uint64, q float64) float64 {
+	if len(counts) != len(bounds)+1 {
+		panic("obs: BucketQuantile needs len(counts) == len(bounds)+1")
+	}
+	total := uint64(0)
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i, c := range counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		if i >= len(bounds) {
+			// Overflow bucket: no finite upper bound to interpolate
+			// toward, so clamp.
+			if len(bounds) == 0 {
+				return 0
+			}
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		frac := (rank - float64(prev)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		return lo + (bounds[i]-lo)*frac
+	}
+	return bounds[len(bounds)-1]
+}
+
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 

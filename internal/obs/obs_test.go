@@ -92,6 +92,74 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "latency", []float64{0.001, 0.01, 0.1})
+
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+
+	// 10 observations in (0.001, 0.01]: the median interpolates inside
+	// that bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.005)
+	}
+	got := h.Quantile(0.5)
+	if got <= 0.001 || got > 0.01 {
+		t.Fatalf("p50 = %v, want within (0.001, 0.01]", got)
+	}
+	// q outside [0,1] clamps instead of extrapolating.
+	if lo, hi := h.Quantile(-1), h.Quantile(2); lo < 0 || hi > 0.01+1e-12 {
+		t.Fatalf("clamped quantiles out of range: q=-1 -> %v, q=2 -> %v", lo, hi)
+	}
+}
+
+// TestHistogramQuantileOverflowClamp is the regression test for the +Inf
+// edge case: every observation beyond the last finite bound lands in the
+// unbounded overflow bucket, where naive interpolation would report +Inf.
+// The estimate must clamp to the last finite bound instead.
+func TestHistogramQuantileOverflowClamp(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("of_seconds", "latency", []float64{0.001, 0.01, 0.1})
+	for i := 0; i < 100; i++ {
+		h.Observe(5) // > 0.1: overflow bucket
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999, 1} {
+		got := h.Quantile(q)
+		if math.IsInf(got, 1) {
+			t.Fatalf("Quantile(%v) = +Inf, want clamp to last finite bound", q)
+		}
+		if got != 0.1 {
+			t.Fatalf("Quantile(%v) = %v, want 0.1 (last finite bound)", q, got)
+		}
+	}
+}
+
+func TestBucketQuantile(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	// 4 observations <=1, 4 in (1,2], none in (2,4], 2 overflow.
+	counts := []uint64{4, 4, 0, 2}
+	if got := BucketQuantile(bounds, counts, 0.25); got != 0.625 {
+		t.Fatalf("p25 = %v, want 0.625", got)
+	}
+	if got := BucketQuantile(bounds, counts, 0.8); got != 2 {
+		t.Fatalf("p80 = %v, want 2", got)
+	}
+	if got := BucketQuantile(bounds, counts, 1); got != 4 {
+		t.Fatalf("p100 = %v, want clamp to 4", got)
+	}
+	if got := BucketQuantile(nil, []uint64{7}, 0.9); got != 0 {
+		t.Fatalf("no finite bounds: got %v, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("mismatched counts length must panic")
+		}
+	}()
+	BucketQuantile(bounds, []uint64{1, 2}, 0.5)
+}
+
 func TestLatencyBoundsShape(t *testing.T) {
 	bs := LatencyBounds()
 	if len(bs) != 20 {

@@ -24,9 +24,12 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"hdpower/internal/dwlib"
 	"hdpower/internal/lut"
+	"hdpower/internal/telemetry"
 )
 
 // Values of the hdserve_estimate_served_total path label.
@@ -76,7 +79,15 @@ type estScratch struct {
 	words []uint64
 	est   []float64
 	out   []byte
+	// shard is this scratch's telemetry-profiler shard hint, assigned
+	// round-robin at pool-miss time. A scratch maps loosely to a concurrent
+	// worker, so reusing its hint spreads recorders across counter shards
+	// without any per-request work.
+	shard uint32
 }
+
+// scratchSeq hands out profiler shard hints to freshly allocated scratches.
+var scratchSeq atomic.Uint32
 
 // scratch slices beyond these caps are dropped on release instead of
 // pooled, so one huge batch cannot pin its buffers forever.
@@ -93,6 +104,7 @@ var scratchPool = sync.Pool{New: func() any {
 		words: make([]uint64, 0, 256),
 		est:   make([]float64, 0, 256),
 		out:   make([]byte, 0, 4096),
+		shard: scratchSeq.Add(1),
 	}
 }}
 
@@ -443,6 +455,7 @@ func growFloats(dst []float64, n int) []float64 {
 // renders with indent=true to stay byte-identical to the legacy
 // json.Encoder output; the stream endpoint renders compact NDJSON lines.
 func (s *Server) estimateFastBytes(body []byte, sc *estScratch, indent bool) ([]byte, bool) {
+	start := time.Now()
 	req, ok := parseEstimateFast(body, sc)
 	if !ok || !req.hasModel {
 		return nil, false
@@ -511,6 +524,26 @@ func (s *Server) estimateFastBytes(body []byte, sc *estScratch, indent bool) ([]
 	s.met.cacheHits.Inc()
 	s.met.estCycles.Add(int64(len(sc.est)))
 	s.met.servedLUT.Inc()
+	// Traffic profiling stays allocation-free: the interned module makes
+	// the Key probe a plain map lookup, and the sharded counters take
+	// atomic adds only. Model returns nil past the cap, which the record
+	// calls tolerate.
+	mp := s.tel.Profiler().Model(
+		telemetry.Key{Module: module, Width: req.width, Seed: req.seed}, m+1)
+	if mp != nil {
+		if len(req.words) > 0 {
+			// Validation above guarantees every word fits the m-bit mask,
+			// so the XOR popcount is exactly the per-cycle Hd.
+			for i := 1; i < len(req.words); i++ {
+				mp.RecordClass(sc.shard, bits.OnesCount64(req.words[i-1]^req.words[i]))
+			}
+		} else {
+			for _, hd := range req.hd {
+				mp.RecordClass(sc.shard, hd)
+			}
+		}
+		mp.RecordRequest(sc.shard, len(sc.est), time.Since(start).Seconds())
+	}
 	sc.out = appendEstimateResponse(sc.out[:0], module, req.width, req.seed,
 		sc.est, enhanced, total, mean, "", indent)
 	return sc.out, true

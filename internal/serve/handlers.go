@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"hdpower/internal/hddist"
 	"hdpower/internal/logic"
@@ -151,6 +152,7 @@ func (s *Server) estimateLegacy(w http.ResponseWriter, body []byte) {
 // always produced; the stream endpoint renders the same failure as a
 // per-line error object instead.
 func (s *Server) computeEstimate(req *estimateRequest) ([]float64, bool, string, *resolveError) {
+	start := time.Now()
 	badReq := func(format string, args ...any) *resolveError {
 		return &resolveError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 	}
@@ -226,6 +228,7 @@ func (s *Server) computeEstimate(req *estimateRequest) ([]float64, bool, string,
 	default:
 		return nil, false, "", badReq("pass hd classes or a words vector stream")
 	}
+	s.recordLegacyTraffic(req, m, len(est), time.Since(start).Seconds())
 	return est, enhanced, fallback, nil
 }
 

@@ -102,6 +102,11 @@ type buildEntry struct {
 	shardsMerged atomic.Int64
 	patterns     atomic.Int64
 
+	// refresh marks a re-characterization build started by the refinement
+	// loop: the entry stays detached from the cache maps while it builds so
+	// the old model keeps serving, and complete swaps it in on success.
+	refresh bool
+
 	// Guarded by the owning cache's mutex.
 	status   string
 	model    *core.Model
@@ -149,18 +154,22 @@ type modelCache struct {
 	byID     map[string]*buildEntry // same entries, keyed by buildID
 	order    *list.List             // ready keys, MRU at front
 	elems    map[string]*list.Element
+	// refreshing marks keys with an in-flight refinement rebuild, so the
+	// refine loop never stacks a second rebuild on the same model.
+	refreshing map[string]bool
 
 	luts atomic.Pointer[lutSet]
 }
 
 func newModelCache(capacity int, met *metrics) *modelCache {
 	c := &modelCache{
-		capacity: capacity,
-		met:      met,
-		entries:  make(map[string]*buildEntry),
-		byID:     make(map[string]*buildEntry),
-		order:    list.New(),
-		elems:    make(map[string]*list.Element),
+		capacity:   capacity,
+		met:        met,
+		entries:    make(map[string]*buildEntry),
+		byID:       make(map[string]*buildEntry),
+		order:      list.New(),
+		elems:      make(map[string]*list.Element),
+		refreshing: make(map[string]bool),
 	}
 	c.luts.Store(emptyLutSet)
 	return c
@@ -252,6 +261,47 @@ func (c *modelCache) begin(spec BuildSpec) (ent *buildEntry, started bool) {
 	return ent, true
 }
 
+// beginRefresh starts a refinement rebuild for spec's key: a detached
+// build entry that never displaces the ready model while it builds. It
+// refuses unless the key is currently ready (there is a model worth
+// refreshing) and no refresh for it is already in flight.
+func (c *modelCache) beginRefresh(spec BuildSpec) (*buildEntry, bool) {
+	key := spec.Key()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur, ok := c.entries[key]
+	if !ok || cur.status != statusReady || c.refreshing[key] {
+		return nil, false
+	}
+	ent := &buildEntry{
+		spec: spec, key: key, id: buildID(key),
+		status: statusBuilding, done: make(chan struct{}), refresh: true,
+	}
+	c.refreshing[key] = true
+	return ent, true
+}
+
+// abandonRefresh releases the refresh slot of an entry that could not be
+// enqueued.
+func (c *modelCache) abandonRefresh(ent *buildEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.refreshing, ent.key)
+}
+
+// readyEntrySpec returns the ready model and its build spec for key
+// without touching the LRU order: the telemetry hotset peeks at every
+// profiled model and must not perturb eviction.
+func (c *modelCache) readyEntrySpec(key string) (*core.Model, BuildSpec, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ent, ok := c.entries[key]
+	if !ok || ent.status != statusReady {
+		return nil, BuildSpec{}, false
+	}
+	return ent.model, ent.spec, true
+}
+
 // abandon removes a just-begun entry that could not be enqueued (queue
 // full), so later requests retry instead of waiting forever.
 func (c *modelCache) abandon(ent *buildEntry) {
@@ -281,6 +331,12 @@ func (c *modelCache) complete(ent *buildEntry, model *core.Model, err error, man
 	}
 	c.mu.Lock()
 	ent.manifest = man
+	if ent.refresh {
+		c.completeRefreshLocked(ent, model, table, err)
+		c.mu.Unlock()
+		close(ent.done)
+		return
+	}
 	if err != nil {
 		ent.status = statusFailed
 		ent.err = err
@@ -289,19 +345,58 @@ func (c *modelCache) complete(ent *buildEntry, model *core.Model, err error, man
 		ent.model = model
 		ent.table = table
 		c.elems[ent.key] = c.order.PushFront(ent.key)
-		for c.order.Len() > c.capacity {
-			oldest := c.order.Back()
-			key := oldest.Value.(string)
-			c.order.Remove(oldest)
-			delete(c.elems, key)
-			delete(c.byID, c.entries[key].id)
-			delete(c.entries, key)
-			c.met.cacheEvicted.Inc()
-		}
+		c.evictOverCapacity()
 		c.publishLUTs()
 	}
 	c.mu.Unlock()
 	close(ent.done)
+}
+
+// completeRefreshLocked settles a refinement rebuild. On success the
+// refreshed entry replaces the one it re-characterized, keeping (or
+// regaining) its LRU position; the old model serves uninterrupted until
+// the swap publishes. If a concurrent non-refresh build owns the key slot
+// (the ready entry was evicted and re-requested mid-refresh), the
+// refreshed model is dropped — the in-flight build is authoritative.
+func (c *modelCache) completeRefreshLocked(ent *buildEntry, model *core.Model, table *lut.Table, err error) {
+	delete(c.refreshing, ent.key)
+	if err != nil {
+		ent.status = statusFailed
+		ent.err = err
+		return
+	}
+	ent.status = statusReady
+	ent.model = model
+	ent.table = table
+	cur, ok := c.entries[ent.key]
+	switch {
+	case ok && cur.status == statusReady:
+		c.entries[ent.key] = ent
+		c.byID[ent.id] = ent
+		c.order.MoveToFront(c.elems[ent.key])
+	case !ok:
+		c.entries[ent.key] = ent
+		c.byID[ent.id] = ent
+		c.elems[ent.key] = c.order.PushFront(ent.key)
+		c.evictOverCapacity()
+	default:
+		return // a live non-refresh build owns the slot
+	}
+	c.publishLUTs()
+}
+
+// evictOverCapacity drops LRU-tail ready models beyond the capacity.
+// Callers must hold c.mu.
+func (c *modelCache) evictOverCapacity() {
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		key := oldest.Value.(string)
+		c.order.Remove(oldest)
+		delete(c.elems, key)
+		delete(c.byID, c.entries[key].id)
+		delete(c.entries, key)
+		c.met.cacheEvicted.Inc()
+	}
 }
 
 // snapshot lists every entry, ready models in MRU order first, then

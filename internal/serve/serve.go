@@ -17,6 +17,8 @@
 //	POST /v1/models/build             async characterize+fit (singleflight, LRU)
 //	GET  /v1/models/build/{id}        live build progress (shards, patterns)
 //	GET  /v1/models/{id}/manifest     flight-recorder manifest of a settled build
+//	GET  /v1/telemetry                windowed latency/QPS/burn-rate + Hd-mix snapshot
+//	GET  /v1/telemetry/hotset         traffic-weighted characterization-budget advice
 //	GET  /healthz                     liveness
 //	GET  /readyz                      readiness (503 while draining)
 //	GET  /metrics                     Prometheus text exposition
@@ -47,6 +49,7 @@ import (
 	"hdpower/internal/hddist"
 	"hdpower/internal/modellib"
 	"hdpower/internal/obs"
+	"hdpower/internal/telemetry"
 )
 
 // Config tunes the server. Zero values select the documented defaults.
@@ -110,6 +113,42 @@ type Config struct {
 	// library models (or width-regression synthesis) when the requested
 	// model is not cached — answers marked "degraded" instead of 404.
 	LibraryDir string
+
+	// TelemetryWindow is the width of one telemetry aggregation window
+	// (default 10s); TelemetryWindows is how many the ring keeps
+	// (default 30). Together they bound how far back /v1/telemetry looks.
+	TelemetryWindow  time.Duration
+	TelemetryWindows int
+	// SLOLatencyUnary / SLOLatencyStream are the per-request latency
+	// budgets of the two estimate planes (defaults 25ms and 80ms); a
+	// request over budget or answered ≥500 counts against the SLO.
+	SLOLatencyUnary  time.Duration
+	SLOLatencyStream time.Duration
+	// SLOObjective is the success-rate objective (default 0.999);
+	// SLOBurnBreach is the burn-rate multiple on both the fast and slow
+	// spans that declares a breach (default 2).
+	SLOObjective  float64
+	SLOBurnBreach float64
+	// CaptureDir, when set, enables automatic pprof capture on SLO breach:
+	// each breach writes a telemetry snapshot plus goroutine and heap
+	// profiles there, rate-limited by CaptureMinInterval (default 1m) and
+	// bounded at CaptureMax captures per process (default 8).
+	CaptureDir         string
+	CaptureMinInterval time.Duration
+	CaptureMax         int
+	// ProfiledModels caps the traffic profiler's model set (default 128);
+	// traffic to models past the cap is counted only in aggregate.
+	ProfiledModels int
+	// RefineInterval, when positive, starts the refinement loop: every
+	// interval the server converts the observed Hd mix into budget
+	// recommendations and re-characterizes hot under-budgeted models at a
+	// doubled pattern budget. RefineThreshold is the multiple of the
+	// uniform per-class budget a class's recommendation must reach to be
+	// hot (default 2); RefineMinEstimates is the traffic floor below which
+	// a model is never refined (default 1024).
+	RefineInterval     time.Duration
+	RefineThreshold    float64
+	RefineMinEstimates uint64
 }
 
 func (c *Config) setDefaults() {
@@ -142,6 +181,39 @@ func (c *Config) setDefaults() {
 	}
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 16
+	}
+	if c.TelemetryWindow <= 0 {
+		c.TelemetryWindow = 10 * time.Second
+	}
+	if c.TelemetryWindows <= 0 {
+		c.TelemetryWindows = 30
+	}
+	if c.SLOLatencyUnary <= 0 {
+		c.SLOLatencyUnary = 25 * time.Millisecond
+	}
+	if c.SLOLatencyStream <= 0 {
+		c.SLOLatencyStream = 80 * time.Millisecond
+	}
+	if c.SLOObjective <= 0 || c.SLOObjective >= 1 {
+		c.SLOObjective = 0.999
+	}
+	if c.SLOBurnBreach <= 0 {
+		c.SLOBurnBreach = 2
+	}
+	if c.CaptureMinInterval <= 0 {
+		c.CaptureMinInterval = time.Minute
+	}
+	if c.CaptureMax <= 0 {
+		c.CaptureMax = 8
+	}
+	if c.ProfiledModels <= 0 {
+		c.ProfiledModels = 128
+	}
+	if c.RefineThreshold <= 0 {
+		c.RefineThreshold = 2
+	}
+	if c.RefineMinEstimates == 0 {
+		c.RefineMinEstimates = 1024
 	}
 }
 
@@ -177,6 +249,10 @@ type metrics struct {
 	buildsResumed   *obs.Counter
 	ckptSaves       *obs.Counter
 	ckptFailures    *obs.Counter
+
+	refineBuilds       *obs.Counter
+	sloCaptures        *obs.Counter
+	sloCaptureFailures *obs.Counter
 }
 
 func newMetrics() *metrics {
@@ -208,6 +284,10 @@ func newMetrics() *metrics {
 		buildsResumed:   reg.Counter("hdserve_builds_resumed_total", "characterization runs resumed from a checkpoint"),
 		ckptSaves:       reg.Counter("hdserve_checkpoint_saves_total", "characterization checkpoints written"),
 		ckptFailures:    reg.Counter("hdserve_checkpoint_failures_total", "characterization checkpoint writes that failed"),
+
+		refineBuilds:       reg.Counter("hdserve_refine_builds_total", "re-characterization builds enqueued by the refinement loop"),
+		sloCaptures:        reg.Counter("hdserve_slo_captures_total", "SLO-breach diagnostic captures written"),
+		sloCaptureFailures: reg.Counter("hdserve_slo_capture_failures_total", "SLO-breach diagnostic captures that failed to write"),
 	}
 	m.servedLUT = m.estimateServed(servedLUT)
 	m.servedLegacy = m.estimateServed(servedLegacy)
@@ -250,6 +330,14 @@ func (m *metrics) estimateServed(path string) *obs.Counter {
 		[]obs.Label{{Key: "path", Value: path}})
 }
 
+// sloBreaches counts SLO breach observations by plane. Incremented by the
+// watcher once per breached check, never on the request path.
+func (m *metrics) sloBreaches(plane string) *obs.Counter {
+	return m.reg.CounterL("hdserve_slo_breaches_total",
+		"SLO breach observations by the telemetry watcher, labeled by plane",
+		[]obs.Label{{Key: "plane", Value: plane}})
+}
+
 func (m *metrics) request(path string, code int) *obs.Counter {
 	return m.reg.CounterL("hdserve_requests_total", "HTTP requests by route and status code",
 		[]obs.Label{{Key: "path", Value: path}, {Key: "code", Value: strconv.Itoa(code)}})
@@ -271,6 +359,14 @@ type Server struct {
 	log      *slog.Logger
 	lib      *modellib.Library // nil unless LibraryDir is configured and opens
 	distMemo *hddist.Memo      // closed-form Hd-distribution cache (stats endpoint)
+
+	tel         *telemetry.Telemetry
+	planeUnary  *telemetry.Plane
+	planeStream *telemetry.Plane
+	// SLO-capture state, touched only by the watcher goroutine (and tests
+	// calling checkSLO directly), so it needs no lock.
+	lastCapture  time.Time
+	captureCount int
 
 	queue     chan *buildEntry
 	buildWG   sync.WaitGroup // queued + running builds
@@ -348,6 +444,36 @@ func New(cfg Config) *Server {
 		s.buildFn = s.characterize
 	}
 
+	// The telemetry plane must exist before route registration: wrap
+	// resolves each route's SLO plane once, at registration time.
+	tel, err := telemetry.New(telemetry.Config{
+		Now:       time.Now,
+		Window:    s.cfg.TelemetryWindow,
+		Windows:   s.cfg.TelemetryWindows,
+		MaxModels: s.cfg.ProfiledModels,
+	})
+	if err != nil {
+		panic("serve: telemetry init: " + err.Error()) // unreachable: Now is set
+	}
+	s.tel = tel
+	s.planeUnary = tel.Plane("unary", telemetry.SLO{
+		LatencyBudget: s.cfg.SLOLatencyUnary.Seconds(),
+		Objective:     s.cfg.SLOObjective,
+		BreachBurn:    s.cfg.SLOBurnBreach,
+	})
+	s.planeStream = tel.Plane("stream", telemetry.SLO{
+		LatencyBudget: s.cfg.SLOLatencyStream.Seconds(),
+		Objective:     s.cfg.SLOObjective,
+		BreachBurn:    s.cfg.SLOBurnBreach,
+	})
+	if s.cfg.CaptureDir != "" {
+		if err := os.MkdirAll(s.cfg.CaptureDir, 0o755); err != nil {
+			s.log.Error("capture dir unavailable; SLO captures disabled",
+				"dir", s.cfg.CaptureDir, "err", err)
+			s.cfg.CaptureDir = ""
+		}
+	}
+
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /readyz", s.handleReadyz)
 	s.handle("GET /metrics", s.handleMetrics)
@@ -361,10 +487,18 @@ func New(cfg Config) *Server {
 	// because as separate ServeMux patterns they would overlap on
 	// /v1/models/build/manifest without either being more specific.
 	s.handle("GET /v1/models/{a}/{b}", s.handleModelSub)
+	s.handle("GET /v1/telemetry", s.handleTelemetry)
+	s.handle("GET /v1/telemetry/hotset", s.handleTelemetryHotset)
 
 	for w := 0; w < cfg.BuildWorkers; w++ {
 		s.workerWG.Add(1)
 		go s.buildWorker()
+	}
+	s.workerWG.Add(1)
+	go s.sloWatcher()
+	if s.cfg.RefineInterval > 0 {
+		s.workerWG.Add(1)
+		go s.refineLoop()
 	}
 	s.recoverBuilds()
 	return s
@@ -421,6 +555,7 @@ func (w *statusWriter) Flush() {
 // a root span, request-ID propagation, request metrics and the access log
 // to a handler.
 func (s *Server) wrap(pattern string, h http.HandlerFunc) http.Handler {
+	plane := s.planeFor(pattern) // resolved once, not per request
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.met.inflight.Add(1)
@@ -452,6 +587,9 @@ func (s *Server) wrap(pattern string, h http.HandlerFunc) http.Handler {
 			s.met.inflight.Add(-1)
 			s.met.request(pattern, sw.code).Inc()
 			s.met.latency(pattern).Observe(time.Since(start).Seconds())
+			if plane != nil {
+				plane.Observe(time.Now(), time.Since(start).Seconds(), sw.code >= 500)
+			}
 			span.SetAttr("status", strconv.Itoa(sw.code))
 			span.End()
 			s.accessLog(ctx, r, sw, time.Since(start))
@@ -463,6 +601,18 @@ func (s *Server) wrap(pattern string, h http.HandlerFunc) http.Handler {
 		defer cancel()
 		h(sw, r.WithContext(ctx))
 	})
+}
+
+// planeFor maps a route pattern to its SLO plane. Only the two estimate
+// planes carry SLOs; probes, scrapes and the build API return nil.
+func (s *Server) planeFor(pattern string) *telemetry.Plane {
+	switch pattern {
+	case "POST /v1/estimate", "POST /v1/estimate/stats":
+		return s.planeUnary
+	case "POST /v1/estimate/stream":
+		return s.planeStream
+	}
+	return nil
 }
 
 // accessLog emits one structured record per request. Probe and scrape

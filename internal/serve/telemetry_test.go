@@ -1,0 +1,372 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"hdpower/internal/atomicio"
+	"hdpower/internal/core"
+	"hdpower/internal/faultpoint"
+	"hdpower/internal/telemetry"
+)
+
+// epsModel is fakeModel with per-class deviation reservoirs filled in, so
+// the hotset's traffic x epsilon apportionment has something to weigh.
+func epsModel(m int, eps []float64) *core.Model {
+	model := fakeModel(m)
+	for i := range model.Basic {
+		model.Basic[i].Epsilon = eps[i]
+	}
+	return model
+}
+
+func epsBuilds(m int, eps []float64) func(context.Context, BuildSpec, *core.Hooks) (*core.Model, error) {
+	return func(context.Context, BuildSpec, *core.Hooks) (*core.Model, error) {
+		return epsModel(m, eps), nil
+	}
+}
+
+// TestTelemetryEndpoint drives traffic through the fast, legacy and
+// stream paths and checks GET /v1/telemetry reflects all of it: both SLO
+// planes observed their requests, and the profiler recorded the combined
+// Hd mix under the model's key regardless of serving path.
+func TestTelemetryEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{BuildFunc: instantBuilds(4)})
+	buildReady(t, ts.URL, map[string]any{"module": "ripple-adder", "width": 2, "seed": 7})
+
+	// Fast path: hd classes 0..4, five estimates.
+	resp, _ := postRaw(t, ts.URL+"/v1/estimate",
+		`{"model":{"module":"ripple-adder","width":2,"seed":7},"hd":[0,1,2,3,4]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fast estimate: status %d", resp.StatusCode)
+	}
+	// Legacy path: the patterns field in the model object leaves the hot
+	// shape, so the struct-walk path serves (and must record) this one.
+	resp, _ = postRaw(t, ts.URL+"/v1/estimate",
+		`{"model":{"module":"ripple-adder","width":2,"seed":7,"patterns":512},"hd":[2,2]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy estimate: status %d", resp.StatusCode)
+	}
+	// Stream plane: two fast lines.
+	line := `{"model":{"module":"ripple-adder","width":2,"seed":7},"hd":[4]}`
+	resp, _ = postRaw(t, ts.URL+"/v1/estimate/stream", line+"\n"+line+"\n")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream estimate: status %d", resp.StatusCode)
+	}
+
+	resp, data := postGet(t, ts.URL+"/v1/telemetry")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/telemetry: status %d, body %s", resp.StatusCode, data)
+	}
+	snap := decode[telemetry.Snapshot](t, data)
+
+	planes := map[string]telemetry.PlaneSnapshot{}
+	for _, p := range snap.Planes {
+		planes[p.Plane] = p
+	}
+	if planes["unary"].Requests != 2 {
+		t.Errorf("unary plane requests = %d, want 2", planes["unary"].Requests)
+	}
+	if planes["stream"].Requests != 1 {
+		t.Errorf("stream plane requests = %d, want 1", planes["stream"].Requests)
+	}
+	if planes["unary"].Breached || planes["stream"].Breached {
+		t.Error("healthy traffic must not breach the SLO")
+	}
+
+	if len(snap.Models) != 1 {
+		t.Fatalf("models = %+v, want exactly one", snap.Models)
+	}
+	ms := snap.Models[0]
+	if ms.Key != "ripple-adder/w2/s7" {
+		t.Fatalf("model key = %q", ms.Key)
+	}
+	// 5 fast + 2 legacy + 2 stream estimates, mixed per class:
+	// class 0,1,3: one each; class 2: 1 fast + 2 legacy; class 4: 1 + 2 stream.
+	wantHits := []uint64{1, 1, 3, 1, 3}
+	if !reflect.DeepEqual(ms.HdHits, wantHits) {
+		t.Errorf("hd_hits = %v, want %v", ms.HdHits, wantHits)
+	}
+	if ms.Estimates != 9 {
+		t.Errorf("estimates = %d, want 9", ms.Estimates)
+	}
+	if ms.Requests != 4 {
+		t.Errorf("requests = %d, want 4 (unary x2 + stream lines x2)", ms.Requests)
+	}
+}
+
+// TestTelemetryHotsetGolden pins the hotset recommendation for a fixed
+// recorded traffic state: same traffic in, byte-for-byte same
+// recommendation out, across repeated computations and over the wire.
+func TestTelemetryHotsetGolden(t *testing.T) {
+	// Per-class deviations for input bits 1..4 of the w2 ripple adder.
+	eps := []float64{0.5, 0.02, 0.10, 0.10}
+	s, ts := newTestServer(t, Config{BuildFunc: epsBuilds(4, eps)})
+	buildReady(t, ts.URL, map[string]any{
+		"module": "ripple-adder", "width": 2, "seed": 7, "patterns": 512})
+
+	// Fixed traffic: Hd class 2 and 3 dominate, class 4 trails, class 1
+	// is never hit (weights: 0, 2, 10, 1).
+	mp := s.tel.Profiler().Model(telemetry.Key{Module: "ripple-adder", Width: 2, Seed: 7}, 5)
+	for i := 0; i < 100; i++ {
+		mp.RecordClass(0, 2)
+		mp.RecordClass(0, 3)
+	}
+	for i := 0; i < 10; i++ {
+		mp.RecordClass(0, 4)
+	}
+	mp.RecordRequest(0, 210, 0.001)
+
+	want := hotsetResponse{
+		Threshold: 2,
+		Models: []hotsetModel{{
+			Key:       "ripple-adder/w2/s7",
+			Patterns:  512,
+			Estimates: 210,
+			Classes: []hotsetClass{
+				{Hd: 1, Traffic: 0, Epsilon: 0.5, Uniform: 128, Recommended: 0},
+				{Hd: 2, Traffic: 100, Epsilon: 0.02, Uniform: 128, Recommended: 79},
+				{Hd: 3, Traffic: 100, Epsilon: 0.10, Uniform: 128, Recommended: 394},
+				{Hd: 4, Traffic: 10, Epsilon: 0.10, Uniform: 128, Recommended: 39},
+			},
+			HotClasses:          []int{3},
+			RecommendedPatterns: 1024,
+			spec:                BuildSpec{Module: "ripple-adder", Width: 2, Seed: 7, Patterns: 512},
+		}},
+	}
+	got := s.computeHotset()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("hotset = %+v\nwant %+v", got, want)
+	}
+	if again := s.computeHotset(); !reflect.DeepEqual(again, got) {
+		t.Errorf("hotset not deterministic: %+v then %+v", got, again)
+	}
+
+	resp, data := postGet(t, ts.URL+"/v1/telemetry/hotset")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/telemetry/hotset: status %d", resp.StatusCode)
+	}
+	var wire struct {
+		Threshold float64 `json:"threshold"`
+		Models    []struct {
+			Key                 string `json:"key"`
+			HotClasses          []int  `json:"hot_classes"`
+			RecommendedPatterns int    `json:"recommended_patterns"`
+		} `json:"models"`
+	}
+	if err := json.Unmarshal(data, &wire); err != nil {
+		t.Fatalf("hotset decode: %v", err)
+	}
+	if len(wire.Models) != 1 || wire.Models[0].RecommendedPatterns != 1024 ||
+		!reflect.DeepEqual(wire.Models[0].HotClasses, []int{3}) {
+		t.Errorf("wire hotset = %+v", wire)
+	}
+}
+
+// TestSLOBreachCapture drives the unary plane over an impossibly tight
+// latency budget and checks the watcher's reaction: a breach is declared,
+// exactly one bounded capture set lands in CaptureDir, and the rate limit
+// swallows the immediately following breach.
+func TestSLOBreachCapture(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{
+		BuildFunc:          instantBuilds(4),
+		SLOLatencyUnary:    time.Nanosecond, // everything is over budget
+		CaptureDir:         dir,
+		CaptureMinInterval: time.Hour,
+		CaptureMax:         4,
+	})
+	buildReady(t, ts.URL, map[string]any{"module": "ripple-adder", "width": 2, "seed": 7})
+	for i := 0; i < 8; i++ {
+		resp, _ := postRaw(t, ts.URL+"/v1/estimate",
+			`{"model":{"module":"ripple-adder","width":2,"seed":7},"hd":[1]}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("estimate: status %d", resp.StatusCode)
+		}
+	}
+
+	s.checkSLO()
+	if n := s.met.sloBreaches("unary").Value(); n != 1 {
+		t.Fatalf("breach counter = %d, want 1", n)
+	}
+	for _, name := range []string{
+		"slo-unary-001.telemetry.json",
+		"slo-unary-001.goroutine.pb.gz",
+		"slo-unary-001.heap.pb.gz",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("capture file %s: %v", name, err)
+		}
+	}
+	// Captures are durable atomicio files: checksum-verified reads.
+	var snap telemetry.Snapshot
+	data, err := atomicio.ReadFile(filepath.Join(dir, "slo-unary-001.telemetry.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("captured snapshot is not valid JSON: %v", err)
+	}
+
+	// The second breach is inside CaptureMinInterval: counted, not captured.
+	s.checkSLO()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), "slo-unary-002") {
+			t.Errorf("rate limit failed: %s written", e.Name())
+		}
+	}
+	if n := s.met.sloCaptures.Value(); n != 3 {
+		t.Errorf("capture counter = %d, want 3 (snapshot + two profiles)", n)
+	}
+}
+
+// TestSLOCaptureFaultPoint arms the telemetry.capture fault point and
+// checks a failing capture write is counted, not fatal.
+func TestSLOCaptureFaultPoint(t *testing.T) {
+	faultpoint.Disarm()
+	if err := faultpoint.Arm("telemetry.capture=error"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultpoint.Disarm()
+
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{
+		BuildFunc:       instantBuilds(4),
+		SLOLatencyUnary: time.Nanosecond,
+		CaptureDir:      dir,
+	})
+	buildReady(t, ts.URL, map[string]any{"module": "ripple-adder", "width": 2, "seed": 7})
+	for i := 0; i < 4; i++ {
+		postRaw(t, ts.URL+"/v1/estimate",
+			`{"model":{"module":"ripple-adder","width":2,"seed":7},"hd":[1]}`)
+	}
+
+	s.checkSLO()
+	if n := s.met.sloCaptureFailures.Value(); n != 3 {
+		t.Errorf("capture failure counter = %d, want 3", n)
+	}
+	if n := s.met.sloCaptures.Value(); n != 0 {
+		t.Errorf("capture counter = %d, want 0 with the fault armed", n)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("no capture files should survive the fault, found %d", len(entries))
+	}
+}
+
+// TestRefineOnce checks the refinement loop end to end: hot traffic on a
+// model with residual deviation triggers a re-characterization at the
+// doubled budget, the refreshed model swaps in without the key ever
+// leaving the ready state, and a second pass does not re-enqueue.
+func TestRefineOnce(t *testing.T) {
+	eps := []float64{0.5, 0.02, 0.10, 0.10}
+	s, ts := newTestServer(t, Config{
+		BuildFunc:          epsBuilds(4, eps),
+		RefineMinEstimates: 1,
+	})
+	buildReady(t, ts.URL, map[string]any{
+		"module": "ripple-adder", "width": 2, "seed": 7, "patterns": 512})
+
+	mp := s.tel.Profiler().Model(telemetry.Key{Module: "ripple-adder", Width: 2, Seed: 7}, 5)
+	for i := 0; i < 100; i++ {
+		mp.RecordClass(0, 3)
+	}
+	mp.RecordRequest(0, 100, 0.001)
+
+	s.refineOnce()
+	if n := s.met.refineBuilds.Value(); n != 1 {
+		t.Fatalf("refine builds = %d, want 1", n)
+	}
+
+	key := "ripple-adder/w2/s7"
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, spec, ok := s.cache.readyEntrySpec(key); ok && spec.Patterns == 1024 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("refreshed model with boosted budget never swapped in")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Model stayed servable throughout, and still is.
+	if _, ok := s.cache.ready(key); !ok {
+		t.Fatal("model left the ready state during refresh")
+	}
+
+	// The apportionment is scale-free, so the mix stays hot after the
+	// first doubling; each pass ratchets the budget exactly one step
+	// (the refreshing flag blocks stacked rebuilds in between).
+	s.refineOnce()
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if _, spec, ok := s.cache.readyEntrySpec(key); ok && spec.Patterns == 2048 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second refinement pass did not ratchet the budget")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRefineSkipsColdModels checks the traffic floor: a model below
+// RefineMinEstimates is never rebuilt no matter how skewed its mix.
+func TestRefineSkipsColdModels(t *testing.T) {
+	eps := []float64{0.5, 0.02, 0.10, 0.10}
+	s, ts := newTestServer(t, Config{
+		BuildFunc:          epsBuilds(4, eps),
+		RefineMinEstimates: 1000,
+	})
+	buildReady(t, ts.URL, map[string]any{
+		"module": "ripple-adder", "width": 2, "seed": 7, "patterns": 512})
+	mp := s.tel.Profiler().Model(telemetry.Key{Module: "ripple-adder", Width: 2, Seed: 7}, 5)
+	for i := 0; i < 50; i++ {
+		mp.RecordClass(0, 3)
+	}
+	mp.RecordRequest(0, 50, 0.001)
+
+	s.refineOnce()
+	if n := s.met.refineBuilds.Value(); n != 0 {
+		t.Fatalf("refine builds = %d, want 0 below the traffic floor", n)
+	}
+}
+
+// TestProfilerZeroAllocWithTraffic re-proves the fast path's zero-alloc
+// invariant with the profiler hot: recording per-class hits and request
+// latency into the sharded counters adds no allocations.
+func TestProfilerZeroAllocWithTraffic(t *testing.T) {
+	s, ts := newTestServer(t, Config{BuildFunc: instantBuilds(4)})
+	buildReady(t, ts.URL, map[string]any{"module": "ripple-adder", "width": 2, "seed": 7})
+
+	raw := []byte(`{"model":{"module":"ripple-adder","width":2,"seed":7},"hd":[0,1,2,3,4]}`)
+	sc := getScratch()
+	defer putScratch(sc)
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, ok := s.estimateFastBytes(raw, sc, false); !ok {
+			t.Fatal("fast path refused hot-shape request")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("%v allocs/op with profiler recording, want 0", allocs)
+	}
+	// And the traffic actually landed.
+	ms := s.tel.Profiler().SnapshotModels()
+	if len(ms) != 1 || ms[0].Estimates == 0 {
+		t.Fatalf("profiler recorded nothing: %+v", ms)
+	}
+}

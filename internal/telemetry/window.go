@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// ring is a rotating ring of fixed-duration windows, each holding
+// obs.Histogram-style bucket counts plus request/bad totals. Windows are
+// keyed by epoch — the absolute window index now/width — so a slot is
+// reusable the moment traffic reaches it in a later revolution, with no
+// background rotation goroutine and no locks.
+//
+// Rotation is cooperative: the first observer to reach a stale slot wins a
+// CAS on the epoch and zeroes the slot. An observer racing the reset can
+// land a count in a partially cleared slot; the slop is bounded by the few
+// in-flight observations at one window boundary per revolution, which is
+// noise against a window's worth of traffic, and the totals below stay
+// exact because they are tracked cumulatively outside the ring.
+type ring struct {
+	width   int64 // window width in nanoseconds
+	windows int
+	bounds  []float64 // sorted bucket upper bounds, seconds
+	slots   []slot
+
+	requests atomic.Uint64 // cumulative, exact
+	badTotal atomic.Uint64 // cumulative, exact
+}
+
+type slot struct {
+	epoch  atomic.Int64 // absolute window index; negative = never used
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	bad    atomic.Uint64
+}
+
+func newRing(width time.Duration, windows int, bounds []float64) *ring {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	r := &ring{width: int64(width), windows: windows, bounds: bs, slots: make([]slot, windows)}
+	for i := range r.slots {
+		r.slots[i].epoch.Store(-1)
+		r.slots[i].counts = make([]atomic.Uint64, len(bs)+1)
+	}
+	return r
+}
+
+func (r *ring) epochAt(now time.Time) int64 { return now.UnixNano() / r.width }
+
+// slotFor returns the slot for epoch, resetting it first if it still holds
+// a previous revolution's data.
+func (r *ring) slotFor(epoch int64) *slot {
+	s := &r.slots[int(epoch%int64(r.windows))]
+	if old := s.epoch.Load(); old != epoch && s.epoch.CompareAndSwap(old, epoch) {
+		for i := range s.counts {
+			s.counts[i].Store(0)
+		}
+		s.count.Store(0)
+		s.bad.Store(0)
+	}
+	return s
+}
+
+func (r *ring) observe(now time.Time, seconds float64, bad bool) {
+	s := r.slotFor(r.epochAt(now))
+	idx := sort.SearchFloat64s(r.bounds, seconds)
+	s.counts[idx].Add(1)
+	s.count.Add(1)
+	r.requests.Add(1)
+	if bad {
+		s.bad.Add(1)
+		r.badTotal.Add(1)
+	}
+}
+
+// merge sums the bucket counts, totals and bad counts of the span trailing
+// windows ending at now's window (inclusive). Slots whose epoch falls
+// outside the span — earlier revolutions or the never-used marker — are
+// skipped.
+func (r *ring) merge(now time.Time, span int) (counts []uint64, total, bad uint64) {
+	if span > r.windows {
+		span = r.windows
+	}
+	cur := r.epochAt(now)
+	counts = make([]uint64, len(r.bounds)+1)
+	for i := range r.slots {
+		s := &r.slots[i]
+		e := s.epoch.Load()
+		if e < 0 || e > cur || e <= cur-int64(span) {
+			continue
+		}
+		for j := range counts {
+			counts[j] += s.counts[j].Load()
+		}
+		total += s.count.Load()
+		bad += s.bad.Load()
+	}
+	return counts, total, bad
+}
+
+// qps estimates the current request rate from the trailing span completed
+// windows (the current, partial window would bias the rate low). Before
+// the first window completes it falls back to the current window's count
+// over the elapsed fraction of that window.
+func (r *ring) qps(now time.Time, span int) float64 {
+	if span > r.windows-1 {
+		span = r.windows - 1
+	}
+	cur := r.epochAt(now)
+	var total uint64
+	var used int
+	for i := range r.slots {
+		s := &r.slots[i]
+		e := s.epoch.Load()
+		if e >= cur || e < 0 || e <= cur-int64(span)-1 {
+			continue
+		}
+		total += s.count.Load()
+		used++
+	}
+	if used > 0 {
+		return float64(total) / (float64(used) * time.Duration(r.width).Seconds())
+	}
+	// Startup: only the current partial window has data.
+	s := &r.slots[int(cur%int64(r.windows))]
+	if s.epoch.Load() != cur {
+		return 0
+	}
+	elapsed := time.Duration(now.UnixNano() - cur*r.width).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(s.count.Load()) / elapsed
+}
