@@ -54,9 +54,9 @@ race:
 # arming slow faults here shifts goroutine interleavings without making
 # any test nondeterministically fail.
 chaos:
-	HDPOWER_FAULTPOINTS='core.shard=slow:p=0.2:delay=2ms;core.merge=slow:p=0.2:delay=2ms;bitsim.batch=slow:p=0.2:delay=2ms;atomicio.write=slow:p=0.3:delay=2ms;serve.build=slow:p=0.5:delay=5ms;telemetry.capture=slow:p=0.5:delay=2ms' \
+	HDPOWER_FAULTPOINTS='core.shard=slow:p=0.2:delay=2ms;core.merge=slow:p=0.2:delay=2ms;bitsim.batch=slow:p=0.2:delay=2ms;atomicio.write=slow:p=0.3:delay=2ms;serve.build=slow:p=0.5:delay=5ms;telemetry.capture=slow:p=0.5:delay=2ms;fleet.lease=slow:p=0.2:delay=2ms;fleet.upload=slow:p=0.2:delay=2ms;fleet.heartbeat=slow:p=0.2:delay=2ms;fleet.merge=slow:p=0.2:delay=2ms' \
 		$(GO) test -race -count=1 ./internal/core/... ./internal/bitsim/... ./internal/atomicio/... \
-		./internal/faultpoint/... ./internal/modellib/... ./internal/serve/...
+		./internal/faultpoint/... ./internal/modellib/... ./internal/serve/... ./internal/fleet/...
 
 # Coverage profiles with enforced floors on internal/core and
 # internal/sim; CI publishes the profiles as artifacts.

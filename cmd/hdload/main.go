@@ -24,6 +24,11 @@
 // as a ServeTelemetry/snapshot record so the observability plane itself
 // rides the same benchcmp budgets as the estimate planes.
 //
+// Transient connection errors — dial refused while the server restarts,
+// a reset or broken pipe mid-flight — are retried with capped jittered
+// backoff before any failure is declared, so a briefly unavailable server
+// does not flunk a gate run.
+//
 // Exit status: 0 on success, 1 when any request failed (a gate run must
 // not average errors away) or a telemetry cross-check disagreed, 2 on
 // usage or setup failure.
@@ -32,6 +37,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -44,6 +50,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"hdpower/internal/atomicio"
@@ -229,6 +236,68 @@ func run(cfg *config) (recs []record, errCount int64, checkFails []string, err e
 	return recs, errCount, checkFails, nil
 }
 
+// Transient connection errors — the server restarting under us (dial
+// refused) or a connection torn down mid-flight (reset, broken pipe) —
+// are retried with capped jittered backoff rather than failing the run.
+// HTTP status codes are never transient here: a 5xx is the server
+// answering, and the caller decides what that means.
+const (
+	retryAttempts = 5
+	retryBase     = 50 * time.Millisecond
+	retryCap      = 2 * time.Second
+)
+
+func transientErr(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// retryDelay is the capped full-jitter backoff before retry attempt n.
+// Jitter only shifts when a retry fires; it never influences which
+// requests are sent, so runs stay reproducible.
+func retryDelay(attempt int) time.Duration {
+	d := retryBase << uint(attempt)
+	if d > retryCap {
+		d = retryCap
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// postRetry is client.Post with transient-error retry. The body is a
+// byte slice (not a Reader) precisely so each attempt can resend it.
+func postRetry(client *http.Client, url, contentType string, body []byte) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(url, contentType, bytes.NewReader(body))
+		if err == nil {
+			return resp, nil
+		}
+		if attempt >= retryAttempts-1 || !transientErr(err) {
+			return nil, err
+		}
+		delay := retryDelay(attempt)
+		fmt.Fprintf(os.Stderr, "hdload: transient error (%v); retrying in %s\n", err, delay)
+		time.Sleep(delay)
+	}
+}
+
+// getRetry is client.Get with transient-error retry.
+func getRetry(client *http.Client, url string) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Get(url)
+		if err == nil {
+			return resp, nil
+		}
+		if attempt >= retryAttempts-1 || !transientErr(err) {
+			return nil, err
+		}
+		delay := retryDelay(attempt)
+		fmt.Fprintf(os.Stderr, "hdload: transient error (%v); retrying in %s\n", err, delay)
+		time.Sleep(delay)
+	}
+}
+
 // waitReady polls /readyz until the server answers 200.
 func waitReady(client *http.Client, url string, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
@@ -259,7 +328,7 @@ func buildModel(client *http.Client, cfg *config, t *target) error {
 		"patterns": cfg.patterns, "enhanced": cfg.enhanced, "wait": true,
 	}
 	body, _ := json.Marshal(spec)
-	resp, err := client.Post(cfg.url+"/v1/models/build", "application/json", bytes.NewReader(body))
+	resp, err := postRetry(client, cfg.url+"/v1/models/build", "application/json", body)
 	if err != nil {
 		return fmt.Errorf("build %s:%d: %v", t.module, t.width, err)
 	}
@@ -269,7 +338,7 @@ func buildModel(client *http.Client, cfg *config, t *target) error {
 		return fmt.Errorf("build %s:%d: status %d: %s", t.module, t.width, resp.StatusCode, data)
 	}
 
-	resp, err = client.Get(cfg.url + "/v1/models")
+	resp, err = getRetry(client, cfg.url+"/v1/models")
 	if err != nil {
 		return fmt.Errorf("list models: %v", err)
 	}
@@ -446,7 +515,7 @@ func (w *loadWorker) do(body []byte, unary bool) (int64, error) {
 	if unary {
 		path = "/v1/estimate"
 	}
-	resp, err := w.client.Post(w.url+path, "application/json", bytes.NewReader(body))
+	resp, err := postRetry(w.client, w.url+path, "application/json", body)
 	if err != nil {
 		return 0, err
 	}
@@ -618,7 +687,7 @@ func runScenario(client *http.Client, cfg *config, ep string, pool [][]byte) (re
 // scrapePlaneRequests returns one plane's cumulative request count from
 // GET /v1/telemetry.
 func scrapePlaneRequests(client *http.Client, url, plane string) (uint64, error) {
-	resp, err := client.Get(url + "/v1/telemetry")
+	resp, err := getRetry(client, url+"/v1/telemetry")
 	if err != nil {
 		return 0, fmt.Errorf("scrape /v1/telemetry: %v", err)
 	}
@@ -663,7 +732,7 @@ func telemetryBench(client *http.Client, cfg *config) (record, error) {
 	start := time.Now()
 	for i := 0; i < telemetryIters; i++ {
 		t0 := time.Now()
-		resp, err := client.Get(cfg.url + "/v1/telemetry")
+		resp, err := getRetry(client, cfg.url+"/v1/telemetry")
 		if err != nil {
 			return record{}, fmt.Errorf("telemetry bench: %v", err)
 		}
@@ -714,7 +783,7 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 
 // scrapeCounter sums every series of one metric family on /metrics.
 func scrapeCounter(client *http.Client, url, name string) (float64, error) {
-	resp, err := client.Get(url + "/metrics")
+	resp, err := getRetry(client, url+"/metrics")
 	if err != nil {
 		return 0, fmt.Errorf("scrape /metrics: %v", err)
 	}

@@ -23,6 +23,12 @@
 // re-characterization builds for hot, under-budgeted models
 // (GET /v1/telemetry/hotset shows the recommendations).
 //
+// -fleet turns the server into a characterization-fleet coordinator: it
+// mounts the /fleet/v1/* lease protocol and dispatches model builds to
+// registered workers as leased shard ranges, merging results
+// bit-identically to a single-node build. -worker <url> runs the binary
+// as a headless fleet worker of that coordinator instead of serving.
+//
 // SIGINT/SIGTERM starts a graceful shutdown: the listener stops, readiness
 // flips to 503, and in-flight model builds drain before exit.
 package main
@@ -40,6 +46,7 @@ import (
 	"time"
 
 	"hdpower/internal/core"
+	"hdpower/internal/fleet"
 	"hdpower/internal/obs"
 	"hdpower/internal/serve"
 )
@@ -78,6 +85,12 @@ func main() {
 		refine           = flag.Duration("refine", 0, "refinement loop interval: re-characterize hot under-budgeted models from the observed Hd mix (0 = off)")
 		refineThreshold  = flag.Float64("refine-threshold", 0, "hot-class threshold as a multiple of the uniform per-class budget (0 = default 2)")
 		refineMinEst     = flag.Uint64("refine-min-estimates", 0, "minimum observed estimates before a model is refined (0 = default 1024)")
+
+		fleetOn          = flag.Bool("fleet", false, "coordinator mode: mount /fleet/v1/* and dispatch builds to registered workers")
+		fleetLeaseShards = flag.Int("fleet-lease-shards", 0, "plan shards per worker lease (0 = default 8)")
+		fleetLeaseTTL    = flag.Duration("fleet-lease-ttl", 0, "lease deadline without a heartbeat before re-leasing (0 = default 10s)")
+		workerOf         = flag.String("worker", "", "worker mode: pull shard-range leases from this coordinator URL instead of serving")
+		workerName       = flag.String("worker-name", "", "worker name in leases and logs (default: hostname-pid)")
 	)
 	flag.Parse()
 	backend, err := core.ParseBackendKind(*backendName)
@@ -96,6 +109,20 @@ func main() {
 	}
 	logger := obs.NewLogger(os.Stderr, *logFormat, level)
 
+	if *workerOf != "" {
+		os.Exit(runWorker(*workerOf, *workerName, *charWorkers, logger))
+	}
+
+	var coord *fleet.Coordinator
+	if *fleetOn {
+		coord = fleet.NewCoordinator(fleet.Config{
+			LeaseShards:  *fleetLeaseShards,
+			LeaseTTL:     *fleetLeaseTTL,
+			LocalWorkers: *charWorkers,
+			Logger:       logger,
+		})
+	}
+
 	srv := serve.New(serve.Config{
 		MaxBodyBytes:    *maxBody,
 		RequestTimeout:  *requestTimeout,
@@ -112,6 +139,7 @@ func main() {
 		CheckpointEvery: *checkpointEach,
 		BuildRetries:    *buildRetries,
 		LibraryDir:      *libraryDir,
+		Fleet:           coord,
 
 		TelemetryWindow:    *telemetryWindow,
 		TelemetryWindows:   *telemetryWindows,
@@ -179,4 +207,32 @@ func main() {
 	}
 	srv.Close()
 	logger.Info("drained, bye")
+}
+
+// runWorker is the -worker mode: a headless fleet worker pulling shard-range
+// leases from the coordinator until interrupted. It never opens a listener.
+func runWorker(coordinator, name string, workers int, logger *slog.Logger) int {
+	if name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w, err := fleet.NewWorker(fleet.WorkerConfig{
+		Coordinator: coordinator,
+		Name:        name,
+		Workers:     workers,
+		Logger:      logger,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hdserve: %v\n", err)
+		return 2
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger.Info("worker joining fleet", "coordinator", coordinator, "name", name)
+	w.Run(ctx)
+	logger.Info("worker stopped, bye")
+	return 0
 }

@@ -1,0 +1,40 @@
+package atomicio
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// seal.go applies the package's checksum-trailer discipline to payloads
+// that travel over a wire instead of through WriteFile. The distributed
+// characterization fleet seals each partial-accumulator upload so a torn
+// or bit-flipped HTTP body is detected by the coordinator exactly the way
+// a torn file is detected on load — same trailer, same failure taxonomy —
+// and the shard range is re-leased instead of merging garbage.
+
+// Seal returns data plus the SHA-256 checksum trailer WriteFile would
+// have appended. The result is self-verifying: Unseal recovers data
+// exactly, or reports corruption.
+func Seal(data []byte) []byte { return appendTrailer(data) }
+
+// Unseal verifies and strips the checksum trailer of an in-memory
+// payload, returning the original bytes. Unlike ReadFile there is no file
+// to quarantine: a payload without a trailer returns ErrNoChecksum, and a
+// payload that fails verification returns a *CorruptError (Path "(sealed
+// payload)", nothing quarantined), so receivers can reject the bytes —
+// and have them re-sent — instead of trusting a torn copy.
+func Unseal(raw []byte) ([]byte, error) {
+	payload, sum, length, ok := splitTrailer(raw)
+	if !ok {
+		return nil, ErrNoChecksum
+	}
+	if length < 0 || length > len(payload) {
+		return nil, &CorruptError{Path: "(sealed payload)", Reason: "trailer length out of range"}
+	}
+	payload = payload[:length]
+	got := sha256.Sum256(payload)
+	if hex.EncodeToString(got[:]) != sum {
+		return nil, &CorruptError{Path: "(sealed payload)", Reason: "checksum mismatch"}
+	}
+	return payload, nil
+}

@@ -1,0 +1,56 @@
+package atomicio
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{
+		nil,
+		[]byte(""),
+		[]byte("x"),
+		[]byte(`{"basic":[{"count":3,"sum":1.5}]}`),
+		bytes.Repeat([]byte{0x00, 0xff}, 4096),
+	} {
+		sealed := Seal(payload)
+		got, err := Unseal(sealed)
+		if err != nil {
+			t.Fatalf("Unseal(Seal(%d bytes)): %v", len(payload), err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip of %d bytes not identical", len(payload))
+		}
+	}
+}
+
+func TestUnsealRejectsMissingTrailer(t *testing.T) {
+	if _, err := Unseal([]byte("no trailer here")); !errors.Is(err, ErrNoChecksum) {
+		t.Fatalf("want ErrNoChecksum, got %v", err)
+	}
+}
+
+func TestUnsealRejectsTornPayload(t *testing.T) {
+	sealed := Seal([]byte("partial accumulators for shards 8..16 of some build"))
+	// A torn upload keeps the trailer-bearing tail or loses bytes from the
+	// middle; either way verification must fail, never return garbage.
+	for cut := 1; cut < len(sealed); cut++ {
+		torn := append(append([]byte(nil), sealed[:cut/2]...), sealed[cut/2+1:]...)
+		if _, err := Unseal(torn); err == nil {
+			t.Fatalf("cut at %d accepted", cut)
+		}
+	}
+}
+
+func TestUnsealRejectsFlippedBit(t *testing.T) {
+	sealed := Seal([]byte("bit flips must not survive the trailer"))
+	sealed[3] ^= 0x10
+	_, err := Unseal(sealed)
+	if err == nil {
+		t.Fatal("flipped payload accepted")
+	}
+	if !IsCorrupt(err) && !errors.Is(err, ErrNoChecksum) {
+		t.Fatalf("unexpected error type: %v", err)
+	}
+}

@@ -54,21 +54,22 @@ func (c *CheckpointOptions) every() int {
 	return defaultCheckpointEvery
 }
 
-// accState is the serialized form of one classAcc. Sums and deviation
-// samples are float64 and survive the JSON round trip bit-exactly (Go
-// encodes the shortest representation that parses back to the same
-// value), which the bit-identical resume guarantee rests on.
-type accState struct {
+// AccState is the serialized form of one classAcc, shared by checkpoints
+// and the fleet's partial-accumulator wire format (ShardResult). Sums and
+// deviation samples are float64 and survive the JSON round trip bit-
+// exactly (Go encodes the shortest representation that parses back to the
+// same value), which the bit-identical resume guarantee rests on.
+type AccState struct {
 	Count int64     `json:"count"`
 	Sum   float64   `json:"sum"`
 	Dev   []float64 `json:"dev,omitempty"`
 }
 
-func (a *classAcc) state() accState {
-	return accState{Count: a.count, Sum: a.sum, Dev: a.dev}
+func (a *classAcc) state() AccState {
+	return AccState{Count: a.count, Sum: a.sum, Dev: a.dev}
 }
 
-func (s accState) acc() classAcc {
+func (s AccState) acc() classAcc {
 	return classAcc{count: s.Count, sum: s.Sum, dev: s.Dev}
 }
 
@@ -110,8 +111,8 @@ type Checkpoint struct {
 	EarlyStopAt    int  `json:"early_stop_at,omitempty"`
 
 	// Merged accumulator state.
-	Basic       []accState   `json:"basic"`
-	EnhancedAcc [][]accState `json:"enhanced_acc,omitempty"`
+	Basic       []AccState   `json:"basic"`
+	EnhancedAcc [][]AccState `json:"enhanced_acc,omitempty"`
 
 	// Convergence tracker state.
 	ConvNext      int       `json:"conv_next"`
@@ -270,19 +271,25 @@ func newCheckpointer(opt *CharacterizeOptions, module string, inputBits int) *ch
 		path:  opt.Checkpoint.Path,
 		every: opt.Checkpoint.every(),
 		hooks: opt.Hooks,
-		base: Checkpoint{
-			Format:      checkpointFormat,
-			Module:      module,
-			InputBits:   inputBits,
-			Seed:        opt.Seed,
-			Patterns:    opt.Patterns,
-			Enhanced:    opt.Enhanced,
-			ZClusters:   opt.ZClusters,
-			CheckEvery:  opt.CheckEvery,
-			ConvergeTol: opt.ConvergeTol,
-			Backend:     opt.Backend.Name(),
-			TopoHash:    charTopoHash(module, inputBits, opt),
-		},
+		base:  baseCheckpoint(module, inputBits, opt),
+	}
+}
+
+// baseCheckpoint fills the identity fields shared by every snapshot of a
+// run — file checkpoints and fleet ledger snapshots alike.
+func baseCheckpoint(module string, inputBits int, opt *CharacterizeOptions) Checkpoint {
+	return Checkpoint{
+		Format:      checkpointFormat,
+		Module:      module,
+		InputBits:   inputBits,
+		Seed:        opt.Seed,
+		Patterns:    opt.Patterns,
+		Enhanced:    opt.Enhanced,
+		ZClusters:   opt.ZClusters,
+		CheckEvery:  opt.CheckEvery,
+		ConvergeTol: opt.ConvergeTol,
+		Backend:     opt.Backend.Name(),
+		TopoHash:    charTopoHash(module, inputBits, opt),
 	}
 }
 
@@ -312,14 +319,14 @@ func (ck *checkpointer) save(cur cursor, basic []classAcc, enhanced [][]classAcc
 	cp.PatternsBiased = cur.patternsBiased
 	cp.EarlyStopped = cur.earlyStopped
 	cp.EarlyStopAt = cur.earlyStopAt
-	cp.Basic = make([]accState, len(basic))
+	cp.Basic = make([]AccState, len(basic))
 	for i := range basic {
 		cp.Basic[i] = basic[i].state()
 	}
 	if enhanced != nil {
-		cp.EnhancedAcc = make([][]accState, len(enhanced))
+		cp.EnhancedAcc = make([][]AccState, len(enhanced))
 		for i := range enhanced {
-			row := make([]accState, len(enhanced[i]))
+			row := make([]AccState, len(enhanced[i]))
 			for z := range enhanced[i] {
 				row[z] = enhanced[i][z].state()
 			}

@@ -16,6 +16,10 @@ var Known = []string{
 	"bitsim.batch",      // slow bit-parallel batch (internal/bitsim CycleBatch)
 	"core.merge",        // shard merge failure (internal/core Characterize)
 	"core.shard",        // straggling shard worker (internal/core runCharShard)
+	"fleet.heartbeat",   // dropped lease heartbeat (internal/fleet coordinator)
+	"fleet.lease",       // failed lease grant (internal/fleet coordinator)
+	"fleet.merge",       // deferred partial-accumulator merge (internal/fleet coordinator)
+	"fleet.upload",      // torn partial-accumulator upload (internal/fleet worker)
 	"serve.build",       // transient model-build dispatch failure (internal/serve)
 	"telemetry.capture", // SLO-breach diagnostic capture write failure (internal/serve)
 }

@@ -1,0 +1,194 @@
+// Package fleet distributes characterization builds over a pool of
+// worker processes while preserving the single-node bit-identity
+// contract.
+//
+// The unit of work is a contiguous shard-range lease: the coordinator
+// (see Coordinator) decomposes a build's deterministic shard plan into
+// ranges, leases each range to exactly one worker at a time (lease =
+// range + fencing epoch + deadline), and merges the returned partial
+// accumulators strictly in shard order through a core.MergeSession —
+// so the fitted model is bit-identical to core.Characterize with the
+// same options, no matter how many workers computed it, in what order
+// ranges arrived, or how many leases died along the way.
+//
+// Robustness model, in one place:
+//
+//   - Workers heartbeat their active lease; a lease whose deadline
+//     passes without one is expired and re-leased to a live worker.
+//   - Every lease grant carries a fresh monotonic epoch. An upload must
+//     quote the epoch of a currently-leased range; a zombie worker
+//     finishing a range that was re-leased after its lease expired is
+//     rejected (HTTP 409) and its bytes discarded.
+//   - Upload bodies carry the atomicio checksum trailer (Seal/Unseal);
+//     a torn or bit-flipped body is rejected (HTTP 400) and the range
+//     stays leased for the worker to retry, or expires and is re-leased.
+//   - Worker RPCs retry transient failures with capped-jitter backoff.
+//   - The coordinator checkpoints its lease ledger (a core.Checkpoint
+//     snapshot of the merge session plus the fencing epoch) through
+//     atomicio, so a restarted coordinator resumes the build mid-plan.
+//   - With no live workers the coordinator degrades to computing ranges
+//     locally, so a fleet-configured server with no fleet still builds.
+//
+// Chaos coverage arms the fleet.lease / fleet.upload / fleet.heartbeat /
+// fleet.merge fault points (see internal/faultpoint) and asserts the
+// converged model is still bit-identical to single-node.
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hdpower/internal/core"
+	"hdpower/internal/power"
+	"hdpower/internal/sim"
+
+	"hdpower/internal/dwlib"
+)
+
+// JobSpec is the self-contained description of one distributed build: a
+// worker that receives it can reconstruct the exact characterization
+// stream the coordinator is merging. Fingerprint pins the identity
+// (core.Fingerprint over the derived options); workers refuse leases
+// whose fingerprint does not match what they recompute locally, so a
+// version-skewed worker can never contribute shards.
+type JobSpec struct {
+	ID          string  `json:"id"`
+	Module      string  `json:"module"`
+	Width       int     `json:"width"`
+	InputBits   int     `json:"input_bits"`
+	Seed        int64   `json:"seed"`
+	Patterns    int     `json:"patterns"`
+	Enhanced    bool    `json:"enhanced,omitempty"`
+	ZClusters   int     `json:"z_clusters,omitempty"`
+	CheckEvery  int     `json:"check_every,omitempty"`
+	ConvergeTol float64 `json:"converge_tol,omitempty"`
+	Backend     string  `json:"backend,omitempty"`
+	Fingerprint string  `json:"fingerprint"`
+}
+
+// moduleName is the characterization run name shared by coordinator and
+// workers — it feeds the fingerprint, so both sides must derive it the
+// same way (and the same way internal/serve names its builds).
+func (j *JobSpec) moduleName() string {
+	return fmt.Sprintf("%s-w%d", j.Module, j.Width)
+}
+
+// options derives the characterization options a job implies. Workers
+// and Hooks are deliberately absent: parallelism is a per-process choice
+// and hooks are a coordinator concern, and neither shapes the pattern
+// stream (nor, therefore, the fingerprint).
+func (j *JobSpec) options() core.CharacterizeOptions {
+	return core.CharacterizeOptions{
+		Patterns:    j.Patterns,
+		Seed:        j.Seed,
+		Enhanced:    j.Enhanced,
+		ZClusters:   j.ZClusters,
+		CheckEvery:  j.CheckEvery,
+		ConvergeTol: j.ConvergeTol,
+		Backend:     core.BackendKind(j.Backend),
+	}
+}
+
+// buildMeter reconstructs the job's netlist and reference meter from the
+// catalog — the same path internal/serve takes for a local build.
+func (j *JobSpec) buildMeter() (*power.Meter, error) {
+	mod, err := dwlib.Lookup(j.Module)
+	if err != nil {
+		return nil, err
+	}
+	nl := mod.Build(j.Width)
+	if err := nl.Finalize(); err != nil {
+		return nil, err
+	}
+	return power.NewMeter(nl, sim.EventDriven)
+}
+
+// Lease is one granted work unit: the phase-relative shard range
+// [Start, End) of Phase, fenced by Epoch, expiring TTLMs milliseconds
+// after the grant unless heartbeated.
+type Lease struct {
+	JobID string `json:"job_id"`
+	Phase string `json:"phase"`
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	Epoch int64  `json:"epoch"`
+	TTLMs int64  `json:"ttl_ms"`
+}
+
+// Lease RPC statuses.
+const (
+	statusLease    = "lease"    // a lease was granted
+	statusWait     = "wait"     // job active, nothing pending right now
+	statusIdle     = "idle"     // no job active
+	statusOK       = "ok"       // heartbeat extended the lease
+	statusRevoked  = "revoked"  // lease no longer held; stop computing
+	statusAccepted = "accepted" // upload merged into the ledger
+	statusStale    = "stale"    // upload fenced off by epoch or re-lease
+	statusGone     = "gone"     // job no longer active
+)
+
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+type leaseResponse struct {
+	Status  string   `json:"status"`
+	RetryMs int64    `json:"retry_ms,omitempty"`
+	Job     *JobSpec `json:"job,omitempty"`
+	Lease   *Lease   `json:"lease,omitempty"`
+}
+
+type heartbeatRequest struct {
+	Worker string `json:"worker"`
+	JobID  string `json:"job_id"`
+	Phase  string `json:"phase"`
+	Start  int    `json:"start"`
+	Epoch  int64  `json:"epoch"`
+}
+
+type statusResponse struct {
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+// uploadPayload is the JSON body of an upload, wrapped in the atomicio
+// checksum trailer by the sender (atomicio.Seal) and verified by the
+// coordinator (atomicio.Unseal) before it is even parsed.
+type uploadPayload struct {
+	Worker  string             `json:"worker"`
+	JobID   string             `json:"job_id"`
+	Phase   string             `json:"phase"`
+	Start   int                `json:"start"`
+	End     int                `json:"end"`
+	Epoch   int64              `json:"epoch"`
+	Results []core.ShardResult `json:"results"`
+}
+
+// Fleet endpoints, mounted by internal/serve (coordinator mode) and
+// dialed by Worker.
+const (
+	PathLease     = "/fleet/v1/lease"
+	PathHeartbeat = "/fleet/v1/heartbeat"
+	PathUpload    = "/fleet/v1/upload"
+)
+
+// backoff returns the capped full-jitter delay for the given retry
+// attempt (0-based): uniform over (0, min(base<<attempt, cap)]. The same
+// discipline internal/serve applies to build retries.
+func backoff(base, max time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 3 * time.Second
+	}
+	limit := base
+	for i := 0; i < attempt && limit < max; i++ {
+		limit *= 2
+	}
+	if limit > max {
+		limit = max
+	}
+	return time.Duration(rand.Int63n(int64(limit))) + time.Millisecond
+}

@@ -5,12 +5,15 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hdpower/internal/core"
 	"hdpower/internal/dwlib"
+	"hdpower/internal/fleet"
 	"hdpower/internal/lut"
 	"hdpower/internal/power"
 	"hdpower/internal/sim"
@@ -102,6 +105,13 @@ type buildEntry struct {
 	shardsMerged atomic.Int64
 	patterns     atomic.Int64
 
+	// Retry diagnostics for the progress endpoint: attempts counts build
+	// attempts started; retry records the last transient failure (set
+	// before the backoff sleep, kept after recovery so a settled build
+	// still shows what it survived).
+	attempts atomic.Int64
+	retry    atomic.Pointer[buildRetryState]
+
 	// refresh marks a re-characterization build started by the refinement
 	// loop: the entry stays detached from the cache maps while it builds so
 	// the old model keeps serving, and complete swaps it in on success.
@@ -113,6 +123,14 @@ type buildEntry struct {
 	table    *lut.Table // flattened model, published into the LUT snapshot
 	err      error
 	manifest *core.RunManifest
+}
+
+// buildRetryState is one transient build failure, published atomically
+// for lock-free progress polls.
+type buildRetryState struct {
+	attempt int
+	lastErr string
+	backoff time.Duration
 }
 
 // progressHooks returns the hook set that feeds the entry's live progress
@@ -433,6 +451,9 @@ func (c *modelCache) entrySnapshot(ent *buildEntry) modelSnapshot {
 // engine with the server's observability hooks and the build context as
 // the interrupt source.
 func (s *Server) characterize(ctx context.Context, spec BuildSpec, hooks *core.Hooks) (*core.Model, error) {
+	if s.cfg.Fleet != nil && s.cfg.Fleet.LiveWorkers() > 0 {
+		return s.characterizeFleet(ctx, spec, hooks)
+	}
 	mod, err := dwlib.Lookup(spec.Module)
 	if err != nil {
 		return nil, err
@@ -474,4 +495,32 @@ func (s *Server) characterize(ctx context.Context, spec BuildSpec, hooks *core.H
 		model, err = core.Characterize(meter, name, opt)
 	}
 	return model, err
+}
+
+// characterizeFleet dispatches a build to the registered worker fleet.
+// The coordinator merges worker shards through the same deterministic
+// state machine Characterize runs locally, so the model is bit-identical
+// to the local path; the fleet just computes the shards elsewhere. The
+// fleet keeps its own ledger checkpoint (<id>.fleet.json) rather than
+// the local-path <id>.ckpt.json, but both use the same snapshot
+// encoding.
+func (s *Server) characterizeFleet(ctx context.Context, spec BuildSpec, hooks *core.Hooks) (*core.Model, error) {
+	id := buildID(spec.Key())
+	job := fleet.JobSpec{
+		ID:        id,
+		Module:    spec.Module,
+		Width:     spec.Width,
+		Seed:      spec.Seed,
+		Patterns:  spec.Patterns,
+		Enhanced:  spec.Enhanced,
+		ZClusters: spec.ZClusters,
+		Backend:   s.cfg.Backend.Name(),
+	}
+	opts := fleet.RunOptions{Hooks: hooks}
+	if s.cfg.CheckpointDir != "" {
+		opts.LedgerPath = filepath.Join(s.cfg.CheckpointDir, id+".fleet.json")
+		opts.Resume = true
+	}
+	s.log.Info("build dispatched to fleet", "id", id, "workers", s.cfg.Fleet.LiveWorkers())
+	return s.cfg.Fleet.RunJob(ctx, job, opts)
 }

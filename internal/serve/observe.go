@@ -77,6 +77,14 @@ type buildProgressResponse struct {
 	ShardsMerged      int64  `json:"shards_merged"`
 	PatternsSimulated int64  `json:"patterns_simulated"`
 	Error             string `json:"error,omitempty"`
+	// Retry diagnostics: how many attempts have started, and — when the
+	// last attempt failed transiently — what it said and how long the
+	// retry loop backed off before the next one. A build stuck in
+	// building with attempts climbing is retrying; one with attempts == 1
+	// is still on its first try.
+	Attempts         int64  `json:"attempts,omitempty"`
+	LastAttemptError string `json:"last_attempt_error,omitempty"`
+	RetryBackoffMs   int64  `json:"retry_backoff_ms,omitempty"`
 }
 
 func (s *Server) handleBuildProgress(w http.ResponseWriter, r *http.Request, id string) {
@@ -93,6 +101,11 @@ func (s *Server) handleBuildProgress(w http.ResponseWriter, r *http.Request, id 
 		ShardsTotal:       ent.shardsTotal.Load(),
 		ShardsMerged:      ent.shardsMerged.Load(),
 		PatternsSimulated: ent.patterns.Load(),
+		Attempts:          ent.attempts.Load(),
+	}
+	if rs := ent.retry.Load(); rs != nil {
+		resp.LastAttemptError = rs.lastErr
+		resp.RetryBackoffMs = rs.backoff.Milliseconds()
 	}
 	if err != nil {
 		resp.Error = err.Error()

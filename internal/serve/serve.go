@@ -46,6 +46,7 @@ import (
 
 	"hdpower/internal/core"
 	"hdpower/internal/faultpoint"
+	"hdpower/internal/fleet"
 	"hdpower/internal/hddist"
 	"hdpower/internal/modellib"
 	"hdpower/internal/obs"
@@ -149,6 +150,14 @@ type Config struct {
 	RefineInterval     time.Duration
 	RefineThreshold    float64
 	RefineMinEstimates uint64
+
+	// Fleet, when set, runs this server as a distributed-characterization
+	// coordinator: the fleet endpoints (/fleet/v1/*) are mounted, the
+	// coordinator's hdfleet_* metrics join the server registry, and model
+	// builds dispatch to the worker fleet whenever at least one worker is
+	// alive — degrading to the local engine otherwise. Build results are
+	// bit-identical either way.
+	Fleet *fleet.Coordinator
 }
 
 func (c *Config) setDefaults() {
@@ -489,6 +498,12 @@ func New(cfg Config) *Server {
 	s.handle("GET /v1/models/{a}/{b}", s.handleModelSub)
 	s.handle("GET /v1/telemetry", s.handleTelemetry)
 	s.handle("GET /v1/telemetry/hotset", s.handleTelemetryHotset)
+	if s.cfg.Fleet != nil {
+		s.cfg.Fleet.RegisterObs(met.reg, s.tracer)
+		s.handle("POST "+fleet.PathLease, s.cfg.Fleet.HandleLease)
+		s.handle("POST "+fleet.PathHeartbeat, s.cfg.Fleet.HandleHeartbeat)
+		s.handle("POST "+fleet.PathUpload, s.cfg.Fleet.HandleUpload)
+	}
 
 	for w := 0; w < cfg.BuildWorkers; w++ {
 		s.workerWG.Add(1)
@@ -594,13 +609,21 @@ func (s *Server) wrap(pattern string, h http.HandlerFunc) http.Handler {
 			span.End()
 			s.accessLog(ctx, r, sw, time.Since(start))
 		}()
-		if r.Body != nil {
+		if r.Body != nil && !uncappedBody(pattern) {
 			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
 		}
 		ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
 		defer cancel()
 		h(sw, r.WithContext(ctx))
 	})
+}
+
+// uncappedBody exempts a route from the MaxBodyBytes cap. Fleet uploads
+// carry whole shard-range accumulator sets — legitimately megabytes for
+// wide enhanced builds — and enforce their own (much larger) bound plus a
+// checksum trailer inside the handler.
+func uncappedBody(pattern string) bool {
+	return pattern == "POST "+fleet.PathUpload
 }
 
 // planeFor maps a route pattern to its SLO plane. Only the two estimate
@@ -781,6 +804,7 @@ func (s *Server) buildWithRetries(ctx context.Context, ent *buildEntry, hooks *c
 	var model *core.Model
 	var err error
 	for attempt := 0; ; attempt++ {
+		ent.attempts.Add(1)
 		if ferr := faultpoint.Hit("serve.build"); ferr != nil {
 			err = ferr
 		} else {
@@ -792,6 +816,10 @@ func (s *Server) buildWithRetries(ctx context.Context, ent *buildEntry, hooks *c
 		}
 		s.met.buildRetries.Inc()
 		delay := s.retryDelay(attempt)
+		// Publish the retry before sleeping, so pollers watching
+		// GET /v1/models/build/{id} see why the build is stalled while it
+		// is stalled.
+		ent.retry.Store(&buildRetryState{attempt: attempt + 1, lastErr: err.Error(), backoff: delay})
 		s.log.Warn("build attempt failed; retrying", "id", ent.id,
 			"attempt", attempt+1, "backoff", delay, "err", err)
 		select {
